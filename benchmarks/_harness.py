@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run a benchmark payload exactly once and return its result.
+
+    The harness regenerates tables (one simulation/exploration pass each), so
+    repeated rounds would only slow it down without adding information.
+    """
+    return benchmark.pedantic(func, iterations=1, rounds=1)

@@ -1,0 +1,73 @@
+"""Figure 1(d), Figure 9 and Figure 10: exploration cloud and bounds.
+
+Figure 1(d): energy cost vs fraction of SDC-causing errors protected across a
+sample of the 586 cross-layer combinations.  Figures 9/10: the energy-cost
+vs improvement envelopes that new resilience techniques must beat -- for the
+best cross-layer combination (Fig. 9) and for the best standalone technique,
+LEAP-DICE (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.core import ResilienceTarget, enumerate_combinations
+from repro.reporting import format_series
+
+#: Number of combinations sampled for the Fig. 1(d) cloud (keeps the harness
+#: fast; pass the full 417-element list to explore_all for the complete cloud).
+CLOUD_SAMPLE = 60
+
+
+def bench_fig01d_exploration_cloud(benchmark, ino_fw):
+    def payload():
+        combinations = enumerate_combinations("InO")
+        sample = combinations[::max(1, len(combinations) // CLOUD_SAMPLE)]
+        evaluated = ino_fw.explorer.explore_all(ResilienceTarget(sdc=50), sample)
+        baseline = ino_fw.vulnerability.total_sdc_rate()
+        points = []
+        for entry in evaluated:
+            protected_fraction = 1.0 - min(1.0, entry.design.estimate_improvement(
+                ino_fw.vulnerability).residual_sdc / baseline)
+            points.append((round(100 * protected_fraction, 1),
+                           round(entry.cost.energy_pct, 1)))
+        return sorted(points)
+
+    points = run_once(benchmark, payload)
+    print()
+    print(format_series(
+        f"Figure 1(d): energy cost vs % SDC-causing errors protected "
+        f"({len(points)} of 417 InO combinations)",
+        points, x_label="% SDC errors protected", y_label="energy cost %"))
+
+
+def bench_fig09_crosslayer_bounds(benchmark, frameworks):
+    def payload():
+        series = {}
+        for family, framework in frameworks.items():
+            series[family] = framework.explorer.bounds_envelope()
+        return series
+
+    series = run_once(benchmark, payload)
+    for family, points in series.items():
+        print()
+        print(format_series(
+            f"Figure 9: bounds for new techniques ({family}, LEAP-DICE + parity + recovery)",
+            [(f"{imp:g}x", round(energy, 1)) for imp, energy in points],
+            x_label="SDC improvement", y_label="energy cost %"))
+
+
+def bench_fig10_standalone_bounds(benchmark, frameworks):
+    def payload():
+        series = {}
+        for family, framework in frameworks.items():
+            series[family] = framework.explorer.bounds_envelope(standalone=True)
+        return series
+
+    series = run_once(benchmark, payload)
+    for family, points in series.items():
+        print()
+        print(format_series(
+            f"Figure 10: bounds for new standalone techniques ({family}, LEAP-DICE)",
+            [(f"{imp:g}x", round(energy, 1)) for imp, energy in points],
+            x_label="SDC improvement", y_label="energy cost %"))

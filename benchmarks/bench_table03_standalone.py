@@ -1,0 +1,48 @@
+"""Table 3: standalone costs and improvements of every resilience technique."""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.core import MAX_TARGET, ResilienceTarget
+from repro.physical import RecoveryKind
+from repro.reporting import format_table
+from repro.resilience import ProtectedDesign, high_level_techniques
+
+
+def bench_table03_standalone_techniques(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            explorer = framework.explorer
+            # Tunable low-level techniques at their maximum-protection point.
+            for names, recovery in ((("leap-dice",), RecoveryKind.NONE),
+                                    (("parity",), RecoveryKind.IR),
+                                    (("eds",), RecoveryKind.IR)):
+                combo = explorer.named_combination(names, recovery)
+                evaluated = explorer.evaluate(combo, ResilienceTarget(sdc=MAX_TARGET))
+                rows.append([family, combo.label,
+                             round(evaluated.cost.area_pct, 1),
+                             round(evaluated.cost.energy_pct, 1),
+                             round(evaluated.cost.exec_time_pct, 1),
+                             round(evaluated.sdc_improvement, 1),
+                             round(evaluated.due_improvement, 1),
+                             round(evaluated.design.gamma(), 2)])
+            # High-level techniques as standalone solutions.
+            for technique in high_level_techniques(family):
+                design = ProtectedDesign(registry=framework.core.registry,
+                                         high_level=[technique])
+                estimate = design.estimate_improvement(framework.vulnerability)
+                cost = design.cost(framework.cost_model)
+                rows.append([family, technique.name, round(cost.area_pct, 1),
+                             round(cost.energy_pct, 1), round(cost.exec_time_pct, 1),
+                             round(estimate.sdc_improvement, 1),
+                             round(estimate.due_improvement, 1),
+                             round(design.gamma(), 2)])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 3: standalone technique costs and improvements",
+                       ["core", "technique", "area %", "energy %", "time %",
+                        "SDC improve", "DUE improve", "gamma"], rows))

@@ -1,0 +1,41 @@
+"""Table 4 (resilient flip-flop cells) and Table 15 (recovery-hardware costs)."""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.physical import CELL_LIBRARY, RecoveryKind, available_recoveries, recovery_cost
+from repro.reporting import format_table
+
+
+def bench_table04_cells(benchmark):
+    def payload():
+        return [[cell.cell_type.value, f"{cell.soft_error_rate:.1e}", cell.area,
+                 cell.power, cell.delay, cell.energy, "yes" if cell.detects else "no"]
+                for cell in CELL_LIBRARY.values()]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 4: resilient flip-flop cells (relative to baseline)",
+                       ["cell", "SER", "area", "power", "delay", "energy", "detects"],
+                       rows))
+
+
+def bench_table15_recovery_costs(benchmark):
+    def payload():
+        rows = []
+        for core_name in ("InO-core", "OoO-core"):
+            for kind in available_recoveries(core_name):
+                if kind is RecoveryKind.NONE:
+                    continue
+                cost = recovery_cost(core_name, kind)
+                unrecoverable = ", ".join(cost.unrecoverable_units) or "none"
+                rows.append([core_name, kind.value, cost.area_pct, cost.power_pct,
+                             cost.energy_pct, cost.latency_cycles, unrecoverable])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 15: hardware error recovery costs",
+                       ["core", "recovery", "area %", "power %", "energy %",
+                        "latency (cycles)", "unrecoverable units"], rows))

@@ -1,0 +1,61 @@
+"""Tables 5-7: flip-flop spacing distributions and parity heuristic comparison.
+
+Table 5: nearest-neighbour spacing in the baseline layout (SEMU exposure).
+Table 6: spacing between members of the same parity group after the
+minimum-spacing layout constraint.  Table 7: cost of the five parity-group
+formation heuristics on the InO-core.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.reporting import format_table
+from repro.resilience import ParityHeuristic, ParityPlanner
+from repro.reporting import format_table
+
+
+def bench_table05_baseline_spacing(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            distribution = framework.placement.baseline_spacing_distribution(sample=800)
+            for label, fraction in distribution.as_rows():
+                rows.append([family, label, f"{100 * fraction:.1f}%"])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 5: baseline nearest-neighbour flip-flop spacing",
+                       ["core", "distance", "fraction"], rows))
+
+
+def bench_table06_parity_spacing(benchmark, ino_fw):
+    def payload():
+        planner = ParityPlanner(ino_fw.core.registry, ino_fw.timing, ino_fw.vulnerability)
+        groups = planner.build_groups(list(range(ino_fw.core.flip_flop_count)),
+                                      ParityHeuristic.OPTIMIZED)
+        distribution = ino_fw.placement.parity_spacing_distribution(
+            [list(group.members) for group in groups[:40]])
+        return distribution
+
+    distribution = run_once(benchmark, payload)
+    rows = [[label, f"{100 * fraction:.1f}%"] for label, fraction in distribution.as_rows()]
+    rows.append(["average distance", f"{distribution.average:.1f} flip-flops"])
+    print()
+    print(format_table("Table 6: same-parity-group spacing after the layout constraint",
+                       ["distance", "fraction"], rows))
+
+
+def bench_table07_parity_heuristics(benchmark, ino_fw):
+    def payload():
+        planner = ParityPlanner(ino_fw.core.registry, ino_fw.timing, ino_fw.vulnerability)
+        return planner.compare_heuristics(list(range(ino_fw.core.flip_flop_count)),
+                                          ino_fw.cost_model)
+
+    comparison = run_once(benchmark, payload)
+    rows = [[label, round(values["area_pct"], 1), round(values["power_pct"], 1),
+             round(values["energy_pct"], 1)] for label, values in comparison.items()]
+    print()
+    print(format_table("Table 7: parity heuristic comparison (all InO flip-flops)",
+                       ["heuristic", "area %", "power %", "energy %"], rows))

@@ -1,0 +1,133 @@
+"""Tables 8-14 and 16: per-technique analyses.
+
+Table 8: DFC error coverage.  Table 9: monitor core vs main core throughput.
+Table 10: assertion data/control breakdown.  Tables 11/14: improvement as a
+function of the injection model (flip-flop vs regU/regW/varU/varW), measured
+with real injections on the in-order core.  Table 12: CFCSS coverage.
+Table 13: EDDI with/without store-readback.  Table 16: "selective" EDDI
+variants from the literature.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.faultinjection import HighLevelInjector, InjectionCampaign, InjectionLevel
+from repro.microarch import InOrderCore
+from repro.reporting import format_table
+from repro.resilience import (
+    ASSERTION_BREAKDOWN,
+    DFC_COVERAGE,
+    EDDI_STORE_READBACK_TABLE,
+    MONITOR_CORE_IPC,
+    SELECTIVE_EDDI_TABLE,
+)
+from repro.resilience.software import CFCSS_COVERAGE_TABLE
+from repro.workloads import workload_by_name
+
+
+def bench_table08_dfc_coverage(benchmark):
+    def payload():
+        rows = []
+        for family, coverage in DFC_COVERAGE.items():
+            rows.append([family, f"{100 * coverage.ff_coverage_sdc:.0f}%",
+                         f"{100 * coverage.detect_sdc:.0f}%",
+                         f"{100 * coverage.overall_sdc_detection:.1f}%",
+                         f"{100 * coverage.ff_coverage_due:.0f}%",
+                         f"{100 * coverage.overall_due_detection:.1f}%"])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 8: DFC error coverage",
+                       ["core", "FFs covered (SDC)", "detect per FF",
+                        "overall SDC detected", "FFs covered (DUE)",
+                        "overall DUE detected"], rows))
+
+
+def bench_table09_monitor_core(benchmark, ooo_fw):
+    def payload():
+        program = workload_by_name("crafty").program()
+        result = ooo_fw.core.run(program)
+        monitor_clock, monitor_ipc = MONITOR_CORE_IPC["Monitor core"]
+        return [[ooo_fw.core.name, f"{ooo_fw.core.clock_mhz:.0f} MHz", round(result.ipc, 2)],
+                ["Monitor core", f"{monitor_clock:.0f} MHz", monitor_ipc]]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 9: monitor core vs main core", ["design", "clock", "IPC"], rows))
+
+
+def bench_table10_assertions_breakdown(benchmark):
+    def payload():
+        return [[kind, values["exec_time_pct"], values["sdc_improvement"],
+                 values["due_improvement"], values["false_positive_rate"]]
+                for kind, values in ASSERTION_BREAKDOWN.items()]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 10: assertions checking data vs control variables",
+                       ["check", "time %", "SDC improve", "DUE improve",
+                        "false positives"], rows))
+
+
+def bench_table11_14_injection_levels(benchmark):
+    """Outcome rates under flip-flop vs architectural injection (Tables 11/14)."""
+
+    def payload():
+        core = InOrderCore()
+        workload = workload_by_name("parser")
+        rows = []
+        flip_flop = InjectionCampaign(core, workload.program(), seed=5).run(injections=60)
+        rows.append(["flip-flop (ground truth)",
+                     f"{100 * flip_flop.outcomes.sdc_count / flip_flop.injections:.1f}%",
+                     f"{100 * flip_flop.outcomes.due_count / flip_flop.injections:.1f}%"])
+        injector = HighLevelInjector(core, seed=5)
+        for level in (InjectionLevel.REGISTER_UNIFORM, InjectionLevel.REGISTER_WRITE,
+                      InjectionLevel.VARIABLE_UNIFORM, InjectionLevel.VARIABLE_WRITE):
+            counts = injector.campaign(level, workload.program(), count=40)
+            rows.append([level.value, f"{100 * counts.sdc_count / counts.total:.1f}%",
+                         f"{100 * counts.due_count / counts.total:.1f}%"])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table(
+        "Tables 11/14: outcome rates under different injection models (parser, InO)",
+        ["injection model", "SDC rate", "DUE rate"], rows))
+
+
+def bench_table12_cfcss_coverage(benchmark):
+    def payload():
+        return [[kind, f"{100 * values['ff_coverage']:.0f}%",
+                 f"{100 * values['detect_per_ff']:.0f}%", f"{values['improvement']}x"]
+                for kind, values in CFCSS_COVERAGE_TABLE.items()]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 12: CFCSS error coverage",
+                       ["class", "FFs covered", "detected per FF", "improvement"], rows))
+
+
+def bench_table13_eddi_store_readback(benchmark):
+    def payload():
+        return [[variant, values["sdc_improvement"], values["sdc_detected_pct"],
+                 values["sdc_escaped"], values["due_improvement"]]
+                for variant, values in EDDI_STORE_READBACK_TABLE.items()]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 13: EDDI and the importance of store-readback",
+                       ["store-readback", "SDC improve", "% SDC detected",
+                        "SDC escaped", "DUE improve"], rows))
+
+
+def bench_table16_selective_eddi(benchmark):
+    def payload():
+        return [list(row) for row in SELECTIVE_EDDI_TABLE]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 16: 'selective' EDDI variants vs flip-flop-evaluated EDDI",
+                       ["technique", "injection level", "SDC improve", "exec time x"],
+                       rows))

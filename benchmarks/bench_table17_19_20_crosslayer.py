@@ -1,0 +1,96 @@
+"""Tables 17, 19 and 20: tunable techniques and cross-layer combinations.
+
+Table 17: cost vs SDC/DUE improvement for the tunable techniques (LEAP-DICE,
+parity, EDS).  Table 19: the general-purpose cross-layer combinations, led by
+LEAP-DICE + parity + flush/RoB recovery.  Table 20: joint SDC+DUE targets.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.core import ResilienceTarget, STANDARD_TARGETS, joint_targets
+from repro.physical import RecoveryKind
+from repro.reporting import format_table
+
+_TARGETS = [ResilienceTarget(sdc=t) for t in STANDARD_TARGETS]
+
+
+def _sweep_rows(framework, family, names, recovery):
+    explorer = framework.explorer
+    combination = explorer.named_combination(names, recovery)
+    row_area = [family, combination.label, "area %"]
+    row_energy = [family, combination.label, "energy %"]
+    for evaluated in explorer.sweep_targets(combination, _TARGETS):
+        row_area.append(round(evaluated.cost.area_pct, 1))
+        row_energy.append(round(evaluated.cost.energy_pct, 1))
+    return [row_area, row_energy]
+
+
+def bench_table17_tunable_techniques(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            ir = RecoveryKind.IR
+            rows.extend(_sweep_rows(framework, family, ("leap-dice",), RecoveryKind.NONE))
+            rows.extend(_sweep_rows(framework, family, ("parity",), ir))
+            rows.extend(_sweep_rows(framework, family, ("eds",), ir))
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 17: tunable technique cost vs SDC improvement",
+                       ["core", "technique", "metric", "2x", "5x", "50x", "500x"], rows))
+
+
+def bench_table19_general_purpose_combinations(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            recovery = RecoveryKind.FLUSH if family == "InO" else RecoveryKind.ROB
+            rows.extend(_sweep_rows(framework, family, ("leap-dice", "parity"), recovery))
+            rows.extend(_sweep_rows(framework, family, ("eds", "leap-dice", "parity"),
+                                    recovery))
+            rows.extend(_sweep_rows(framework, family, ("dfc", "leap-dice", "parity"),
+                                    RecoveryKind.EIR))
+            if family == "InO":
+                rows.extend(_sweep_rows(framework, family,
+                                        ("assertions", "leap-dice", "parity"),
+                                        RecoveryKind.NONE))
+                rows.extend(_sweep_rows(framework, family,
+                                        ("cfcss", "leap-dice", "parity"),
+                                        RecoveryKind.NONE))
+                rows.extend(_sweep_rows(framework, family,
+                                        ("eddi", "leap-dice", "parity"),
+                                        RecoveryKind.NONE))
+            else:
+                rows.extend(_sweep_rows(framework, family,
+                                        ("monitor-core", "leap-dice", "parity"),
+                                        RecoveryKind.ROB))
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 19: cross-layer combinations for general-purpose cores",
+                       ["core", "combination", "metric", "2x", "5x", "50x", "500x"], rows))
+
+
+def bench_table20_joint_targets(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            explorer = framework.explorer
+            combination = explorer.best_practice_combination()
+            for target in joint_targets()[:4]:
+                evaluated = explorer.evaluate(combination, target)
+                rows.append([family, target.label, round(evaluated.cost.area_pct, 1),
+                             round(evaluated.cost.energy_pct, 1),
+                             round(evaluated.sdc_improvement, 1),
+                             round(evaluated.due_improvement, 1)])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 20: joint SDC/DUE targets (LEAP-DICE + parity + recovery)",
+                       ["core", "target", "area %", "energy %", "SDC achieved",
+                        "DUE achieved"], rows))

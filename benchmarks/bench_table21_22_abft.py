@@ -1,0 +1,86 @@
+"""Tables 21/22 and Figure 8: ABFT cross-layer combinations.
+
+Table 21: combinations involving ABFT correction/detection (including the
+LEAP-ctrl dual-mode variant).  Table 22: flip-flops covered by ABFT.
+Figure 8: measured SDC/DUE behaviour of ABFT correction vs detection
+workloads (execution-time impact measured by running the ABFT-protected
+kernels on the in-order core).
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.core import ResilienceTarget, STANDARD_TARGETS
+from repro.physical import RecoveryKind
+from repro.reporting import format_series, format_table
+from repro.resilience import (
+    ABFT_FF_COVERAGE,
+    ProtectedDesign,
+    abft_correction_descriptor,
+    abft_detection_descriptor,
+    measure_abft_impact,
+)
+from repro.workloads import abft_correction_suite, abft_detection_suite
+
+_TARGETS = [ResilienceTarget(sdc=t) for t in STANDARD_TARGETS]
+
+
+def bench_table21_abft_combinations(benchmark, frameworks):
+    def payload():
+        rows = []
+        for family, framework in frameworks.items():
+            explorer = framework.explorer
+            recovery = RecoveryKind.FLUSH if family == "InO" else RecoveryKind.ROB
+            for names, rec in ((("abft-correction", "leap-dice", "parity"), recovery),
+                               (("abft-detection", "leap-dice", "parity"),
+                                RecoveryKind.NONE)):
+                combination = explorer.named_combination(names, rec)
+                row = [family, combination.label]
+                for evaluated in explorer.sweep_targets(combination, _TARGETS):
+                    row.append(round(evaluated.cost.energy_pct, 1))
+                rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 21: ABFT cross-layer combinations (energy % per SDC target)",
+                       ["core", "combination", "2x", "5x", "50x", "500x"], rows))
+
+
+def bench_table22_abft_ff_coverage(benchmark):
+    def payload():
+        return [[family, f"{100 * values['union']:.0f}%",
+                 f"{100 * values['intersection']:.0f}%"]
+                for family, values in ABFT_FF_COVERAGE.items()]
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table("Table 22: flip-flops with errors corrected by ABFT",
+                       ["core", "union over algorithms", "intersection"], rows))
+
+
+def bench_fig08_abft_correction_vs_detection(benchmark, ino_fw):
+    def payload():
+        correction = ProtectedDesign(registry=ino_fw.core.registry,
+                                     high_level=[abft_correction_descriptor()])
+        detection = ProtectedDesign(registry=ino_fw.core.registry,
+                                    high_level=[abft_detection_descriptor()])
+        points = []
+        for label, design in (("correction", correction), ("detection", detection)):
+            estimate = design.estimate_improvement(ino_fw.vulnerability)
+            points.append((label, (round(estimate.sdc_improvement, 2),
+                                   round(estimate.due_improvement, 2))))
+        impacts = []
+        for workload in abft_correction_suite() + abft_detection_suite():
+            measurement = measure_abft_impact(ino_fw.core, workload)
+            impacts.append((workload.name, round(measurement.exec_time_impact_pct, 1)))
+        return points, impacts
+
+    points, impacts = run_once(benchmark, payload)
+    print()
+    print(format_series("Figure 8: ABFT correction vs detection (SDC, DUE improvement)",
+                        points, x_label="flavour", y_label="(SDC, DUE)"))
+    print()
+    print(format_series("Figure 8 (supporting): measured ABFT execution-time impact",
+                        impacts, x_label="workload", y_label="time impact %"))

@@ -1,0 +1,77 @@
+"""ABFT-protected matrix workloads and the cross-layer combination they enable.
+
+The paper's Sec. 3.2 shows that when the application space is restricted to
+matrix-style kernels, Algorithm-Based Fault Tolerance (ABFT) correction
+combined with selective hardening, parity and micro-architectural recovery is
+the cheapest cross-layer solution.  This example:
+
+1. runs the three ABFT-correctable PERFECT kernels (2d_convolution,
+   debayer_filter, inner_product) in baseline and ABFT-protected form on the
+   in-order core and reports the measured execution-time impact;
+2. shows that an injected corruption in the matrix-product kernel is caught
+   and corrected by the Huang-Abraham checksum (recomputation);
+3. compares the ABFT cross-layer combination against the general-purpose one
+   at a 50x SDC target on both cores.
+
+Run with:  python examples/abft_matrix_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ClearFramework, ResilienceTarget
+from repro.faultinjection import FlipFlopInjector, Injection, OutcomeCategory
+from repro.microarch import InOrderCore
+from repro.physical import RecoveryKind
+from repro.resilience import measure_abft_impact
+from repro.workloads import abft_correction_suite, workload_by_name
+
+
+def measure_overheads() -> None:
+    core = InOrderCore()
+    print("Measured ABFT-correction execution-time impact (InO-core):")
+    for workload in abft_correction_suite():
+        measurement = measure_abft_impact(core, workload)
+        print(f"  {workload.name:16s} baseline {measurement.baseline_cycles:6d} cycles, "
+              f"ABFT {measurement.abft_cycles:6d} cycles "
+              f"(+{measurement.exec_time_impact_pct:.1f}%)")
+
+
+def demonstrate_correction() -> None:
+    core = InOrderCore()
+    workload = workload_by_name("inner_product")
+    injector = FlipFlopInjector(core, seed=13)
+    program = workload.abft_program()
+    golden = injector.golden_run(program)
+    counts = {category: 0 for category in OutcomeCategory}
+    for seed in range(80):
+        injection = Injection(flat_index=(seed * 37) % core.flip_flop_count,
+                              cycle=(seed * 97) % golden.cycles)
+        _, outcome = injector.run_with_injection(program, injection, golden)
+        counts[outcome] += 1
+    print("\nInjections into the ABFT-protected matrix product (80 single-bit flips):")
+    for category, count in counts.items():
+        print(f"  {category.value:22s} {count}")
+    print("  (corrupted checksums trigger recomputation; residual detections are "
+          "counted as detected errors)")
+
+
+def compare_cross_layer_combinations() -> None:
+    print("\nCross-layer combinations at a 50x SDC target (energy cost %):")
+    target = ResilienceTarget(sdc=50)
+    for factory in (ClearFramework.for_inorder_core, ClearFramework.for_out_of_order_core):
+        framework = factory()
+        explorer = framework.explorer
+        recovery = (RecoveryKind.FLUSH if framework.explorer.family == "InO"
+                    else RecoveryKind.ROB)
+        general = explorer.evaluate(explorer.best_practice_combination(), target)
+        abft = explorer.evaluate(
+            explorer.named_combination(("abft-correction", "leap-dice", "parity"),
+                                       recovery), target)
+        print(f"  {framework.core.name:9s} general-purpose {general.cost.energy_pct:5.1f}%   "
+              f"with ABFT correction {abft.cost.energy_pct:5.1f}%")
+
+
+if __name__ == "__main__":
+    measure_overheads()
+    demonstrate_correction()
+    compare_cross_layer_combinations()

@@ -1,0 +1,20 @@
+"""Benchmark-dependence analysis (Sec. 4 of the paper)."""
+
+from repro.analysis.benchmark_dependence import (
+    BenchmarkDependenceStudy,
+    TrainValidateResult,
+    TrainValidateSplit,
+    make_splits,
+    paired_p_value,
+)
+from repro.analysis.similarity import benchmark_deciles, subset_similarity
+
+__all__ = [
+    "BenchmarkDependenceStudy",
+    "TrainValidateResult",
+    "TrainValidateSplit",
+    "make_splits",
+    "paired_p_value",
+    "benchmark_deciles",
+    "subset_similarity",
+]

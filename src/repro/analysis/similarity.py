@@ -1,0 +1,44 @@
+"""Vulnerability-subset similarity across benchmarks (Eq. 2, Table 27).
+
+Per benchmark, flip-flops are ranked by decreasing SDC+DUE vulnerability and
+split into deciles (subset 1 = most vulnerable 10%, ..., subset 10 = least).
+The similarity of subset *x* across benchmarks is the size of the
+intersection of all benchmarks' subset *x* divided by the size of their
+union.  The paper finds only the first decile (and the always-vanish tail)
+to be consistent across benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.faultinjection.vulnerability import VulnerabilityMap
+
+
+def benchmark_deciles(vulnerability: VulnerabilityMap, benchmark: str,
+                      deciles: int = 10) -> list[set[int]]:
+    """Split the flip-flops of one benchmark's ranking into vulnerability deciles."""
+    total = vulnerability.total_flip_flops
+    ranking = vulnerability.ranked_by_vulnerability([benchmark])
+    size = max(1, total // deciles)
+    subsets = []
+    for index in range(deciles):
+        start = index * size
+        end = total if index == deciles - 1 else (index + 1) * size
+        subsets.append(set(ranking[start:end]))
+    return subsets
+
+
+def subset_similarity(vulnerability: VulnerabilityMap,
+                      benchmarks: list[str] | None = None,
+                      deciles: int = 10) -> list[float]:
+    """Eq. 2: |intersection| / |union| of each decile across benchmarks."""
+    names = benchmarks if benchmarks is not None else vulnerability.benchmarks
+    if not names:
+        return [0.0] * deciles
+    per_benchmark = [benchmark_deciles(vulnerability, name, deciles) for name in names]
+    similarities = []
+    for decile in range(deciles):
+        subsets = [deciles_list[decile] for deciles_list in per_benchmark]
+        union = set().union(*subsets)
+        intersection = set(subsets[0]).intersection(*subsets[1:]) if subsets else set()
+        similarities.append(len(intersection) / len(union) if union else 0.0)
+    return similarities

@@ -1,0 +1,50 @@
+"""The CLEAR framework core: metrics, heuristics, combinations, exploration."""
+
+from repro.core.combinations import (
+    CrossLayerCombination,
+    combination_counts,
+    enumerate_combinations,
+    total_combination_count,
+)
+from repro.core.exploration import CrossLayerExplorer, EvaluatedDesign
+from repro.core.framework import ClearFramework
+from repro.core.heuristics import (
+    LowLevelChoice,
+    SelectionPolicy,
+    SelectiveHardeningPlanner,
+    SelectiveHardeningResult,
+    choose_technique,
+)
+from repro.core.improvement import (
+    MAX_TARGET,
+    ResilienceTarget,
+    STANDARD_TARGETS,
+    due_improvement,
+    due_targets,
+    joint_targets,
+    sdc_improvement,
+    sdc_targets,
+)
+
+__all__ = [
+    "CrossLayerCombination",
+    "combination_counts",
+    "enumerate_combinations",
+    "total_combination_count",
+    "CrossLayerExplorer",
+    "EvaluatedDesign",
+    "ClearFramework",
+    "LowLevelChoice",
+    "SelectionPolicy",
+    "SelectiveHardeningPlanner",
+    "SelectiveHardeningResult",
+    "choose_technique",
+    "MAX_TARGET",
+    "ResilienceTarget",
+    "STANDARD_TARGETS",
+    "due_improvement",
+    "due_targets",
+    "joint_targets",
+    "sdc_improvement",
+    "sdc_targets",
+]

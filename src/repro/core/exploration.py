@@ -1,0 +1,181 @@
+"""Cross-layer exploration engine.
+
+Evaluates cross-layer combinations: for a combination (a set of techniques
+plus a recovery mechanism) and a resilience target, it builds the cheapest
+protected design reachable with that combination -- applying high-level
+techniques first and then selectively adding tunable circuit/logic protection
+per the Fig. 7 methodology -- and reports its cost and achieved improvement.
+This is the machinery behind Tables 17, 19, 20, 21 and Figures 1(d), 9
+and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.combinations import (
+    ABFT_CORRECTION,
+    ABFT_DETECTION,
+    ASSERTIONS,
+    CFCSS,
+    CrossLayerCombination,
+    DFC,
+    EDDI,
+    EDS,
+    LEAP_DICE,
+    MONITOR,
+    PARITY,
+    enumerate_combinations,
+)
+from repro.core.heuristics import SelectionPolicy, SelectiveHardeningPlanner
+from repro.core.improvement import MAX_TARGET, ResilienceTarget, sdc_targets
+from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.microarch.flipflop import FlipFlopRegistry
+from repro.physical.cells import RecoveryKind
+from repro.physical.costmodel import CostReport, DesignCostModel
+from repro.physical.timing import TimingModel
+from repro.resilience.algorithm import abft_correction_descriptor, abft_detection_descriptor
+from repro.resilience.architecture import dfc_descriptor, monitor_core_descriptor
+from repro.resilience.base import TechniqueDescriptor, core_family
+from repro.resilience.design import ProtectedDesign
+from repro.resilience.software import assertions_descriptor, cfcss_descriptor, eddi_descriptor
+
+_HIGH_LEVEL_FACTORIES = {
+    DFC: dfc_descriptor,
+    MONITOR: monitor_core_descriptor,
+    ASSERTIONS: assertions_descriptor,
+    CFCSS: cfcss_descriptor,
+    EDDI: eddi_descriptor,
+    ABFT_CORRECTION: abft_correction_descriptor,
+    ABFT_DETECTION: abft_detection_descriptor,
+}
+
+
+@dataclass
+class EvaluatedDesign:
+    """One evaluated (combination, target) point."""
+
+    combination: CrossLayerCombination
+    target: ResilienceTarget
+    design: ProtectedDesign
+    cost: CostReport
+    sdc_improvement: float
+    due_improvement: float
+    protected_flip_flops: int
+
+    @property
+    def meets_target(self) -> bool:
+        return self.target.satisfied_by(self.sdc_improvement, self.due_improvement)
+
+    @property
+    def energy_pct(self) -> float:
+        return self.cost.energy_pct
+
+
+class CrossLayerExplorer:
+    """Evaluates combinations over a vulnerability map and a cost model."""
+
+    def __init__(self, registry: FlipFlopRegistry, vulnerability: VulnerabilityMap,
+                 timing: TimingModel | None = None,
+                 cost_model: DesignCostModel | None = None,
+                 benchmarks: list[str] | None = None):
+        self.registry = registry
+        self.vulnerability = vulnerability
+        self.timing = timing or TimingModel(registry)
+        self.cost_model = cost_model or DesignCostModel(registry.core_name,
+                                                        registry.total_flip_flops)
+        self.benchmarks = benchmarks
+        self.family = core_family(registry.core_name)
+        self._planner = SelectiveHardeningPlanner(registry, vulnerability, self.timing,
+                                                  benchmarks)
+
+    # ------------------------------------------------------------------ single combination
+    def _high_level_descriptors(self, combination: CrossLayerCombination) -> list[TechniqueDescriptor]:
+        return [_HIGH_LEVEL_FACTORIES[name]() for name in combination.techniques
+                if name in _HIGH_LEVEL_FACTORIES]
+
+    def _policy_for(self, combination: CrossLayerCombination) -> SelectionPolicy:
+        return SelectionPolicy(
+            allow_hardening=LEAP_DICE in combination.techniques,
+            allow_parity=PARITY in combination.techniques,
+            allow_eds=EDS in combination.techniques,
+        )
+
+    def evaluate(self, combination: CrossLayerCombination,
+                 target: ResilienceTarget) -> EvaluatedDesign:
+        """Build and cost the cheapest design for one combination and target."""
+        high_level = self._high_level_descriptors(combination)
+        if combination.has_tunable_technique:
+            policy = self._policy_for(combination)
+            result = self._planner.plan(target, recovery=combination.recovery,
+                                        policy=policy, high_level=high_level,
+                                        label=combination.label)
+            design = result.design
+            protected = result.protected_count
+            sdc, due = result.achieved_sdc, result.achieved_due
+        else:
+            design = ProtectedDesign(registry=self.registry, recovery=combination.recovery,
+                                     high_level=high_level, label=combination.label)
+            estimate = design.estimate_improvement(self.vulnerability, self.benchmarks)
+            protected = 0
+            sdc, due = estimate.sdc_improvement, estimate.due_improvement
+        cost = design.cost(self.cost_model)
+        return EvaluatedDesign(combination=combination, target=target, design=design,
+                               cost=cost, sdc_improvement=sdc, due_improvement=due,
+                               protected_flip_flops=protected)
+
+    # ------------------------------------------------------------------ sweeps
+    def sweep_targets(self, combination: CrossLayerCombination,
+                      targets: list[ResilienceTarget] | None = None) -> list[EvaluatedDesign]:
+        """Evaluate one combination over the standard target sweep (Table 17/19)."""
+        return [self.evaluate(combination, target)
+                for target in (targets or sdc_targets())]
+
+    def explore_all(self, target: ResilienceTarget,
+                    combinations: list[CrossLayerCombination] | None = None) -> list[EvaluatedDesign]:
+        """Evaluate every combination at one target (the Fig. 1d cloud)."""
+        pool = combinations if combinations is not None \
+            else enumerate_combinations(self.family)
+        return [self.evaluate(combination, target) for combination in pool]
+
+    def cheapest_meeting_target(self, target: ResilienceTarget,
+                                combinations: list[CrossLayerCombination] | None = None,
+                                ) -> EvaluatedDesign | None:
+        """The minimum-energy combination that meets a target (Question 2)."""
+        evaluated = [e for e in self.explore_all(target, combinations) if e.meets_target]
+        if not evaluated:
+            return None
+        return min(evaluated, key=lambda e: e.cost.energy_pct)
+
+    # ------------------------------------------------------------------ named combinations
+    def named_combination(self, names: tuple[str, ...],
+                          recovery: RecoveryKind = RecoveryKind.NONE) -> CrossLayerCombination:
+        """Convenience constructor for the named combinations of Tables 17/19/21."""
+        return CrossLayerCombination(core_family=self.family, techniques=names,
+                                     recovery=recovery)
+
+    def best_practice_combination(self) -> CrossLayerCombination:
+        """LEAP-DICE + parity + micro-architectural recovery (the paper's winner)."""
+        recovery = RecoveryKind.FLUSH if self.family == "InO" else RecoveryKind.ROB
+        return self.named_combination((LEAP_DICE, PARITY), recovery)
+
+    def bounds_envelope(self, targets: list[ResilienceTarget] | None = None,
+                        standalone: bool = False) -> list[tuple[float, float]]:
+        """Energy-cost vs improvement envelope for new-technique bounds (Fig. 9/10).
+
+        Returns (improvement, energy_pct) points for the best-practice
+        cross-layer combination (Fig. 9) or for standalone LEAP-DICE
+        (Fig. 10).
+        """
+        if standalone:
+            combination = self.named_combination((LEAP_DICE,))
+        else:
+            combination = self.best_practice_combination()
+        points = []
+        for evaluated in self.sweep_targets(combination, targets):
+            improvement = evaluated.target.sdc if evaluated.target.sdc is not None \
+                else evaluated.target.due
+            if improvement == MAX_TARGET:
+                improvement = evaluated.sdc_improvement
+            points.append((improvement, evaluated.cost.energy_pct))
+        return points

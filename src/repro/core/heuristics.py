@@ -1,0 +1,218 @@
+"""Selective-hardening heuristics (Heuristic 1 and the Fig. 7 methodology).
+
+The most cost-effective cross-layer combination the paper finds is built by:
+
+1. optionally applying high-level techniques (e.g. ABFT correction) first;
+2. ranking flip-flops by the percentage of injected errors that cause SDC or
+   DUE (from the vulnerability map);
+3. walking down that ranking and protecting each flip-flop with either
+   LEAP-DICE or logic parity, chosen by Heuristic 1:
+
+   * HARDEN(f): flip-flops whose errors cannot be recovered by the chosen
+     micro-architectural recovery (memory/exception/writeback stages on the
+     in-order core; post-reorder-buffer state on the out-of-order core) get
+     LEAP-DICE;
+   * PARITY(f): flip-flops with enough timing slack for the parity predictor
+     tree get parity; everything else falls back to LEAP-DICE;
+
+4. stopping once the estimated SDC/DUE improvement (Eq. 1, including γ)
+   meets the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+from repro.core.improvement import ResilienceTarget
+from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.microarch.flipflop import FlipFlopRegistry
+from repro.physical.cells import CellType, RecoveryKind, recovery_cost
+from repro.physical.timing import TimingModel
+from repro.resilience.base import TechniqueDescriptor, core_family
+from repro.resilience.circuit import HardeningPlan
+from repro.resilience.design import (
+    HARDWARE_RECOVERY_LATENCY_LIMIT,
+    ProtectedDesign,
+    RECOVERY_GAMMA,
+    RESIDUAL_FLOOR_FRACTION,
+)
+from repro.resilience.logic_parity import ParityHeuristic, ParityPlanner, UNPIPELINED_GROUP_SIZE
+
+
+@unique
+class LowLevelChoice(Enum):
+    """Technique choices Heuristic 1 can make for a single flip-flop."""
+
+    LEAP_DICE = "leap-dice"
+    PARITY = "parity"
+    EDS = "eds"
+
+
+@dataclass
+class SelectionPolicy:
+    """Which tunable techniques the selective heuristic may use."""
+
+    allow_hardening: bool = True
+    allow_parity: bool = True
+    allow_eds: bool = False
+    hardening_cell: CellType = CellType.LEAP_DICE
+
+    def single_technique(self) -> bool:
+        return sum((self.allow_hardening, self.allow_parity, self.allow_eds)) == 1
+
+
+def choose_technique(flat_index: int, registry: FlipFlopRegistry, timing: TimingModel,
+                     recovery: RecoveryKind, policy: SelectionPolicy) -> LowLevelChoice:
+    """Heuristic 1: choose LEAP-DICE or parity (or EDS) for one flip-flop."""
+    detection_allowed = policy.allow_parity or policy.allow_eds
+    detection_choice = LowLevelChoice.PARITY if policy.allow_parity else LowLevelChoice.EDS
+    if not detection_allowed:
+        return LowLevelChoice.LEAP_DICE
+    if not policy.allow_hardening:
+        return detection_choice
+    unit = registry.site(flat_index).structure.unit
+    unrecoverable = recovery_cost(registry.core_name, recovery).unrecoverable_units
+    if recovery is not RecoveryKind.NONE and unit in unrecoverable:
+        return LowLevelChoice.LEAP_DICE          # HARDEN(f)
+    if timing.supports_unpipelined(flat_index, UNPIPELINED_GROUP_SIZE):
+        return detection_choice                  # PARITY(f)
+    return LowLevelChoice.LEAP_DICE
+
+
+@dataclass
+class SelectiveHardeningResult:
+    """Output of the Fig. 7 selective-protection loop."""
+
+    design: ProtectedDesign
+    protected_count: int
+    achieved_sdc: float
+    achieved_due: float
+
+
+class SelectiveHardeningPlanner:
+    """Implements the Fig. 7 loop on top of a vulnerability map."""
+
+    def __init__(self, registry: FlipFlopRegistry, vulnerability: VulnerabilityMap,
+                 timing: TimingModel, benchmarks: list[str] | None = None):
+        self.registry = registry
+        self.vulnerability = vulnerability
+        self.timing = timing
+        self.benchmarks = benchmarks
+        self._family = core_family(registry.core_name)
+
+    # ------------------------------------------------------------------ main loop
+    def plan(self, target: ResilienceTarget, recovery: RecoveryKind = RecoveryKind.NONE,
+             policy: SelectionPolicy | None = None,
+             high_level: list[TechniqueDescriptor] | None = None,
+             label: str = "") -> SelectiveHardeningResult:
+        """Protect flip-flops (most vulnerable first) until the target is met.
+
+        A target of ``float('inf')`` protects every flip-flop ("max" columns).
+        """
+        policy = policy or SelectionPolicy()
+        high_level = list(high_level or [])
+        total = self.registry.total_flip_flops
+
+        p_sdc = [self.vulnerability.sdc_probability(i, self.benchmarks) for i in range(total)]
+        p_due = [self.vulnerability.due_probability(i, self.benchmarks) for i in range(total)]
+        baseline_sdc = sum(p_sdc) or 1e-12
+        baseline_due = sum(p_due) or 1e-12
+
+        # Residuals after the high-level techniques (applied uniformly).
+        residual_sdc = list(p_sdc)
+        residual_due = list(p_due)
+        for technique in high_level:
+            coverage = technique.coverage
+            if coverage is None:
+                continue
+            recovered = (coverage.corrects
+                         or (recovery is not RecoveryKind.NONE
+                             and coverage.detection_latency_cycles
+                             <= HARDWARE_RECOVERY_LATENCY_LIMIT))
+            for i in range(total):
+                detected_sdc = residual_sdc[i] * coverage.overall_sdc_detection
+                detected_due = residual_due[i] * coverage.overall_due_detection
+                residual_sdc[i] -= detected_sdc
+                if recovered:
+                    residual_due[i] -= detected_due
+                else:
+                    residual_due[i] += detected_sdc
+
+        gamma_fixed = 1.0
+        for technique in high_level:
+            gamma_fixed *= technique.gamma(self._family).factor
+        gamma_fixed *= 1.0 + RECOVERY_GAMMA[self._family].get(recovery, 0.0)
+
+        sum_sdc = sum(residual_sdc)
+        sum_due = sum(residual_due)
+        ranking = sorted(range(total), key=lambda i: (-(p_sdc[i] + p_due[i]), i))
+
+        hardened: dict[int, CellType] = {}
+        parity_members: list[int] = []
+        eds_members: set[int] = set()
+        suppression = 1.0 - 2.0e-4  # LEAP-DICE-class residual SER
+        unrecoverable = set(recovery_cost(self.registry.core_name, recovery).unrecoverable_units)
+
+        def gamma_now() -> float:
+            added = len(parity_members) / UNPIPELINED_GROUP_SIZE
+            return gamma_fixed * (1.0 + added / max(1, total))
+
+        def improvements() -> tuple[float, float]:
+            gamma = gamma_now()
+            sdc = baseline_sdc / max(sum_sdc, baseline_sdc * RESIDUAL_FLOOR_FRACTION) / gamma
+            due = baseline_due / max(sum_due, baseline_due * RESIDUAL_FLOOR_FRACTION) / gamma
+            return sdc, due
+
+        achieved_sdc, achieved_due = improvements()
+        protected = 0
+        for flat_index in ranking:
+            if target.satisfied_by(achieved_sdc, achieved_due):
+                break
+            if residual_sdc[flat_index] <= 0 and residual_due[flat_index] <= 0 \
+                    and (target.sdc or 0) != float("inf") and (target.due or 0) != float("inf"):
+                continue
+            choice = choose_technique(flat_index, self.registry, self.timing, recovery, policy)
+            unit = self.registry.site(flat_index).structure.unit
+            recoverable = recovery is not RecoveryKind.NONE and unit not in unrecoverable
+            if choice is LowLevelChoice.LEAP_DICE:
+                hardened[flat_index] = policy.hardening_cell
+                sum_sdc -= residual_sdc[flat_index] * suppression
+                sum_due -= residual_due[flat_index] * suppression
+                residual_sdc[flat_index] *= 1.0 - suppression
+                residual_due[flat_index] *= 1.0 - suppression
+            else:
+                if choice is LowLevelChoice.PARITY:
+                    parity_members.append(flat_index)
+                else:
+                    eds_members.add(flat_index)
+                if recoverable:
+                    sum_sdc -= residual_sdc[flat_index]
+                    sum_due -= residual_due[flat_index]
+                    residual_sdc[flat_index] = 0.0
+                    residual_due[flat_index] = 0.0
+                else:
+                    # Detection without recovery: SDC becomes detected (DUE).
+                    sum_due += residual_sdc[flat_index]
+                    sum_sdc -= residual_sdc[flat_index]
+                    residual_due[flat_index] += residual_sdc[flat_index]
+                    residual_sdc[flat_index] = 0.0
+            protected += 1
+            achieved_sdc, achieved_due = improvements()
+
+        design = self._materialise(hardened, parity_members, eds_members, recovery,
+                                   high_level, label)
+        return SelectiveHardeningResult(design=design, protected_count=protected,
+                                        achieved_sdc=achieved_sdc,
+                                        achieved_due=achieved_due)
+
+    # ------------------------------------------------------------------ materialisation
+    def _materialise(self, hardened: dict[int, CellType], parity_members: list[int],
+                     eds_members: set[int], recovery: RecoveryKind,
+                     high_level: list[TechniqueDescriptor], label: str) -> ProtectedDesign:
+        planner = ParityPlanner(self.registry, self.timing, self.vulnerability)
+        groups = planner.build_groups(parity_members, ParityHeuristic.OPTIMIZED)
+        plan = HardeningPlan(assignments=dict(hardened))
+        return ProtectedDesign(registry=self.registry, hardening=plan,
+                               parity_groups=groups, eds_flip_flops=set(eds_members),
+                               recovery=recovery, high_level=high_level, label=label)

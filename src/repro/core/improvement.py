@@ -1,0 +1,81 @@
+"""SDC/DUE improvement metrics (Eq. 1a/1b) and resilience targets.
+
+SDC improvement = (original OMM count) / (new OMM count) * 1/γ
+DUE improvement = (original UT+Hang count) / (new UT+Hang+ED count) * 1/γ
+
+The γ correction accounts for the extra soft-error susceptibility introduced
+by a resilience technique (additional flip-flops and/or longer execution),
+following [Schirmeier 15]; see Sec. 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faultinjection.outcomes import OutcomeCounts
+
+#: Improvement targets explored throughout the paper's tables (the "max"
+#: column corresponds to protecting every flip-flop).
+STANDARD_TARGETS = (2.0, 5.0, 50.0, 500.0)
+MAX_TARGET = float("inf")
+
+
+def sdc_improvement(original: OutcomeCounts, protected: OutcomeCounts,
+                    gamma: float = 1.0) -> float:
+    """Eq. 1a computed from measured outcome counts."""
+    if original.sdc_count == 0:
+        return 1.0
+    new_count = max(protected.sdc_count, 1e-9)
+    return (original.sdc_count / new_count) / gamma
+
+
+def due_improvement(original: OutcomeCounts, protected: OutcomeCounts,
+                    gamma: float = 1.0) -> float:
+    """Eq. 1b computed from measured outcome counts."""
+    if original.due_count == 0:
+        return 1.0
+    new_count = max(protected.due_count, 1e-9)
+    return (original.due_count / new_count) / gamma
+
+
+@dataclass(frozen=True)
+class ResilienceTarget:
+    """A (possibly joint) SDC/DUE improvement target."""
+
+    sdc: float | None = None
+    due: float | None = None
+
+    def satisfied_by(self, sdc_value: float, due_value: float) -> bool:
+        """True when both requested improvements are met or exceeded."""
+        if self.sdc is not None and sdc_value < self.sdc:
+            return False
+        if self.due is not None and due_value < self.due:
+            return False
+        return True
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.sdc is not None:
+            parts.append("SDC " + ("max" if self.sdc == MAX_TARGET else f"{self.sdc:g}x"))
+        if self.due is not None:
+            parts.append("DUE " + ("max" if self.due == MAX_TARGET else f"{self.due:g}x"))
+        return " & ".join(parts) if parts else "none"
+
+
+def sdc_targets() -> list[ResilienceTarget]:
+    """The standard SDC-improvement sweep (2x, 5x, 50x, 500x, max)."""
+    return [ResilienceTarget(sdc=value) for value in STANDARD_TARGETS] + [
+        ResilienceTarget(sdc=MAX_TARGET)]
+
+
+def due_targets() -> list[ResilienceTarget]:
+    """The standard DUE-improvement sweep."""
+    return [ResilienceTarget(due=value) for value in STANDARD_TARGETS] + [
+        ResilienceTarget(due=MAX_TARGET)]
+
+
+def joint_targets() -> list[ResilienceTarget]:
+    """Joint SDC and DUE targets (Table 20)."""
+    return [ResilienceTarget(sdc=value, due=value) for value in STANDARD_TARGETS] + [
+        ResilienceTarget(sdc=MAX_TARGET, due=MAX_TARGET)]

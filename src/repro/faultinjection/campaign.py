@@ -1,0 +1,117 @@
+"""Statistical injection campaigns.
+
+A campaign runs many single-bit injections of a workload on a core
+(optionally with a protection configuration) and aggregates outcomes into an
+:class:`~repro.faultinjection.outcomes.OutcomeCounts` plus a per-flip-flop
+:class:`~repro.faultinjection.vulnerability.VulnerabilityMap` contribution.
+
+The paper's campaigns are 9-million-injection FPGA/supercomputer runs; here
+the sample count is a parameter and the achieved margin of error is reported
+so callers can trade precision for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faultinjection.injector import (
+    FlipFlopInjector,
+    Injection,
+    ProtectionProvider,
+    uniform_injection_plan,
+)
+from repro.faultinjection.outcomes import (
+    OutcomeCategory,
+    OutcomeCounts,
+    margin_of_error,
+)
+from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.microarch.core import BaseCore
+from repro.microarch.events import RunResult
+from repro.isa.program import Program
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one injection campaign."""
+
+    core_name: str
+    program_name: str
+    golden: RunResult
+    outcomes: OutcomeCounts
+    per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
+
+    @property
+    def injections(self) -> int:
+        return self.outcomes.total
+
+    @property
+    def sdc_count(self) -> int:
+        return self.outcomes.sdc_count
+
+    @property
+    def due_count(self) -> int:
+        return self.outcomes.due_count
+
+    @property
+    def achieved_margin_of_error(self) -> float:
+        """95%-confidence margin of error on the SDC rate estimate."""
+        rate = (self.sdc_count / self.injections) if self.injections else 0.0
+        return margin_of_error(self.injections, rate)
+
+    def contribute_to(self, vulnerability: VulnerabilityMap) -> None:
+        """Fold per-site outcome counts into a vulnerability map."""
+        for flat_index, counts in self.per_site.items():
+            vulnerability.record(self.program_name, flat_index,
+                                 samples=counts.total, sdc=counts.sdc_count,
+                                 due=counts.due_count)
+
+
+class InjectionCampaign:
+    """Runs a statistical flip-flop injection campaign for one workload."""
+
+    def __init__(self, core: BaseCore, program: Program,
+                 protection: ProtectionProvider | None = None, seed: int = 0):
+        self.core = core
+        self.program = program
+        self.protection = protection
+        self.seed = seed
+        self._injector = FlipFlopInjector(core, protection=protection, seed=seed)
+
+    def run(self, injections: int = 200,
+            plan: list[Injection] | None = None) -> CampaignResult:
+        """Run the campaign with ``injections`` uniformly-sampled injections.
+
+        A pre-computed ``plan`` (e.g. from
+        :func:`~repro.faultinjection.injector.exhaustive_site_plan`) overrides
+        the uniform sampling.
+        """
+        golden = self._injector.golden_run(self.program)
+        if plan is None:
+            plan = uniform_injection_plan(self.core.flip_flop_count, golden.cycles,
+                                          injections, seed=self.seed)
+        outcomes = OutcomeCounts()
+        per_site: dict[int, OutcomeCounts] = {}
+        for injection in plan:
+            _, outcome = self._injector.run_with_injection(self.program, injection,
+                                                           golden)
+            outcomes.record(outcome)
+            per_site.setdefault(injection.flat_index, OutcomeCounts()).record(outcome)
+        return CampaignResult(core_name=self.core.name,
+                              program_name=self.program.name,
+                              golden=golden, outcomes=outcomes, per_site=per_site)
+
+
+def run_suite_campaign(core: BaseCore, workloads, injections_per_workload: int = 100,
+                       protection: ProtectionProvider | None = None,
+                       seed: int = 0) -> tuple[VulnerabilityMap, list[CampaignResult]]:
+    """Run campaigns over a list of workloads and build a vulnerability map."""
+    vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
+    results = []
+    for offset, workload in enumerate(workloads):
+        campaign = InjectionCampaign(core, workload.program(),
+                                     protection=protection, seed=seed + offset)
+        result = campaign.run(injections=injections_per_workload)
+        result.contribute_to(vulnerability)
+        results.append(result)
+    return vulnerability, results

@@ -1,0 +1,162 @@
+"""Flip-flop-level soft-error injection.
+
+An :class:`Injection` names a flip-flop (by flat index) and a cycle.  The
+:class:`FlipFlopInjector` runs a program on a core with that single bit flip
+applied at the chosen cycle and classifies the outcome against a golden run.
+
+The injector is also where low-level protection semantics are honoured.  A
+*protection provider* (normally a
+:class:`repro.resilience.design.ProtectedDesign`) can describe, per flip-flop:
+
+* **hardening** -- the flip is suppressed with the hardened cell's soft error
+  rate ratio (LEAP-DICE suppresses virtually every upset, LHL three out of
+  four, ...);
+* **detection** (logic parity / EDS) -- the flip is detected one cycle after
+  it is latched; with a hardware recovery mechanism that can reach the
+  affected flip-flop the error is corrected (the pipeline is rolled back and
+  charged the recovery latency), otherwise the run terminates as a detected
+  but uncorrected error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.microarch.core import BaseCore
+from repro.microarch.events import DetectionEvent, RunResult, TerminationReason
+from repro.faultinjection.outcomes import OutcomeCategory, classify_outcome
+from repro.isa.program import Program
+
+HANG_FACTOR = 2.0
+"""Watchdog multiplier: a run is a Hang past 2x the nominal execution time."""
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A single soft-error injection target."""
+
+    flat_index: int
+    cycle: int
+
+
+@dataclass(frozen=True)
+class SiteProtection:
+    """Low-level protection attributes of one flip-flop.
+
+    Attributes:
+        technique: short name of the protecting technique ("leap-dice",
+            "lhl", "parity", "eds", ...), empty when unprotected.
+        suppression: probability that an upset is masked outright (hardened
+            cells).  1.0 means the cell never upsets in practice.
+        detects: True when the flip is detected (parity / EDS).
+        recoverable: True when an attached hardware recovery mechanism can
+            recover errors in this flip-flop.
+        recovery_latency: cycles charged for a recovery.
+    """
+
+    technique: str = ""
+    suppression: float = 0.0
+    detects: bool = False
+    recoverable: bool = False
+    recovery_latency: int = 0
+
+
+class ProtectionProvider(Protocol):
+    """Anything that can describe per-flip-flop low-level protection."""
+
+    def site_protection(self, flat_index: int) -> SiteProtection:
+        """Return the protection attributes of one flip-flop."""
+        ...  # pragma: no cover - protocol definition
+
+
+class FlipFlopInjector:
+    """Runs single-bit flip-flop injections on a core."""
+
+    def __init__(self, core: BaseCore, protection: ProtectionProvider | None = None,
+                 seed: int = 0):
+        self.core = core
+        self.protection = protection
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ golden
+    def golden_run(self, program: Program, max_cycles: int | None = None) -> RunResult:
+        """Run the program without injections (the reference run)."""
+        from repro.microarch.core import DEFAULT_MAX_CYCLES
+
+        return self.core.run(program, max_cycles=max_cycles or DEFAULT_MAX_CYCLES)
+
+    # ------------------------------------------------------------------ injected
+    def run_with_injection(self, program: Program, injection: Injection,
+                           golden: RunResult) -> tuple[RunResult, OutcomeCategory]:
+        """Run one injection and classify its outcome against ``golden``."""
+        watchdog = max(int(golden.cycles * HANG_FACTOR), golden.cycles + 64)
+        hook = self._build_hook(injection)
+        injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        return injected, classify_outcome(golden, injected)
+
+    def _build_hook(self, injection: Injection):
+        protection = (self.protection.site_protection(injection.flat_index)
+                      if self.protection is not None else SiteProtection())
+        suppressed = (protection.suppression > 0.0
+                      and self._rng.random() < protection.suppression)
+
+        def hook(core: BaseCore, cycle: int) -> None:
+            if cycle != injection.cycle:
+                return
+            if suppressed:
+                # The hardened cell absorbed the strike: no state change.
+                return
+            if protection.detects and protection.recoverable:
+                # Detection one cycle after the upset followed by hardware
+                # recovery: architecturally equivalent to absorbing the
+                # upset, at the cost of the recovery latency.
+                core.signal_detection(DetectionEvent(
+                    technique=protection.technique, cycle=cycle + 1,
+                    detail=f"ff={injection.flat_index}", recovered=True))
+                core.schedule_recovery(protection.recovery_latency)
+                return
+            structure = core.latches.flip_flat(injection.flat_index)
+            if protection.detects:
+                core.signal_detection(DetectionEvent(
+                    technique=protection.technique, cycle=cycle + 1,
+                    detail=f"ff={injection.flat_index} structure={structure}",
+                    recovered=False))
+                core.force_termination(TerminationReason.DETECTED)
+
+        return hook
+
+
+def uniform_injection_plan(total_flip_flops: int, golden_cycles: int, count: int,
+                           seed: int = 0) -> list[Injection]:
+    """Sample ``count`` (flip-flop, cycle) pairs uniformly, as in the paper.
+
+    Errors are injected uniformly into all flip-flops and all application
+    regions (cycles of the golden run), mimicking real-world strikes.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(count):
+        plan.append(Injection(
+            flat_index=rng.randrange(total_flip_flops),
+            cycle=rng.randrange(max(1, golden_cycles)),
+        ))
+    return plan
+
+
+def exhaustive_site_plan(total_flip_flops: int, golden_cycles: int,
+                         samples_per_flip_flop: int, seed: int = 0) -> list[Injection]:
+    """Sample a fixed number of cycles for every flip-flop.
+
+    Used when per-flip-flop vulnerability estimates are needed (selective
+    hardening), where uniform sampling would leave most flip-flops with too
+    few samples.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for flat_index in range(total_flip_flops):
+        for _ in range(samples_per_flip_flop):
+            plan.append(Injection(flat_index=flat_index,
+                                  cycle=rng.randrange(max(1, golden_cycles))))
+    return plan

@@ -1,0 +1,133 @@
+"""Alternative (higher-level) injection models.
+
+Tables 11 and 14 of the paper compare resilience improvements evaluated with
+accurate flip-flop-level injection against four naive higher-level injection
+models: uniform architectural-register injection (regU), register-write
+injection (regW), uniform program-variable injection (varU) and
+program-variable-write injection (varW).  This module implements those four
+models on top of the cycle-level cores so the same comparison can be made.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum, unique
+
+from repro.faultinjection.outcomes import OutcomeCategory, OutcomeCounts, classify_outcome
+from repro.isa.program import Program
+from repro.isa.simulator import FunctionalSimulator
+from repro.microarch.core import BaseCore
+from repro.microarch.events import RunResult
+from repro.isa.registers import NUM_REGISTERS
+
+
+@unique
+class InjectionLevel(Enum):
+    """Where an error is injected."""
+
+    FLIP_FLOP = "flip-flop"
+    REGISTER_UNIFORM = "regU"
+    REGISTER_WRITE = "regW"
+    VARIABLE_UNIFORM = "varU"
+    VARIABLE_WRITE = "varW"
+
+
+@dataclass(frozen=True)
+class HighLevelInjection:
+    """A single architectural-level injection."""
+
+    level: InjectionLevel
+    cycle: int
+    register: int | None = None
+    address: int | None = None
+    bit: int = 0
+
+
+class HighLevelInjector:
+    """Injects errors into architectural registers or program variables."""
+
+    def __init__(self, core: BaseCore, seed: int = 0):
+        self.core = core
+        self._rng = random.Random(seed)
+        self._functional = FunctionalSimulator()
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, level: InjectionLevel, program: Program, golden: RunResult,
+             count: int) -> list[HighLevelInjection]:
+        """Sample ``count`` injections for the given injection level."""
+        if level is InjectionLevel.REGISTER_UNIFORM:
+            return [HighLevelInjection(level, cycle=self._rng.randrange(max(1, golden.cycles)),
+                                       register=self._rng.randrange(1, NUM_REGISTERS),
+                                       bit=self._rng.randrange(32))
+                    for _ in range(count)]
+        if level is InjectionLevel.VARIABLE_UNIFORM:
+            addresses = sorted(program.data.as_memory_image()) or [program.data.base]
+            return [HighLevelInjection(level, cycle=self._rng.randrange(max(1, golden.cycles)),
+                                       address=self._rng.choice(addresses),
+                                       bit=self._rng.randrange(32))
+                    for _ in range(count)]
+        trace = self._functional.run(program, collect_trace=True)
+        if level is InjectionLevel.REGISTER_WRITE:
+            events = trace.register_writes
+            plan = []
+            for _ in range(count):
+                entry = self._rng.choice(events)
+                cycle = self._scale_cycle(entry.index, trace.result.instructions,
+                                          golden.cycles)
+                plan.append(HighLevelInjection(level, cycle=cycle, register=entry.rd,
+                                               bit=self._rng.randrange(32)))
+            return plan
+        if level is InjectionLevel.VARIABLE_WRITE:
+            events = trace.memory_writes or trace.register_writes
+            plan = []
+            for _ in range(count):
+                entry = self._rng.choice(events)
+                cycle = self._scale_cycle(entry.index, trace.result.instructions,
+                                          golden.cycles)
+                plan.append(HighLevelInjection(level, cycle=cycle,
+                                               address=entry.store_address,
+                                               register=entry.rd,
+                                               bit=self._rng.randrange(32)))
+            return plan
+        raise ValueError(f"plan() does not handle {level}")
+
+    @staticmethod
+    def _scale_cycle(instruction_index: int, total_instructions: int,
+                     golden_cycles: int) -> int:
+        """Map an instruction index onto an approximate commit cycle."""
+        if total_instructions <= 0:
+            return 0
+        fraction = instruction_index / total_instructions
+        return min(golden_cycles - 1, max(0, int(fraction * golden_cycles)))
+
+    # ------------------------------------------------------------------ execution
+    def run_with_injection(self, program: Program, injection: HighLevelInjection,
+                           golden: RunResult) -> tuple[RunResult, OutcomeCategory]:
+        watchdog = max(int(golden.cycles * 2.0), golden.cycles + 64)
+
+        def hook(core: BaseCore, cycle: int) -> None:
+            if cycle != injection.cycle:
+                return
+            if injection.register is not None and injection.address is None:
+                index = injection.register & 0x1F
+                if index != 0:
+                    core.registers[index] ^= 1 << injection.bit
+            elif injection.address is not None:
+                memory = core.memory
+                if memory.is_mapped(injection.address):
+                    value = memory.load_word(injection.address)
+                    memory.store_word(injection.address, value ^ (1 << injection.bit))
+
+        injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        return injected, classify_outcome(golden, injected)
+
+    def campaign(self, level: InjectionLevel, program: Program,
+                 count: int = 100) -> OutcomeCounts:
+        """Run a campaign at one injection level and return outcome counts."""
+        golden = self.core.run(program)
+        counts = OutcomeCounts()
+        for injection in self.plan(level, program, golden, count):
+            _, outcome = self.run_with_injection(program, injection, golden)
+            counts.record(outcome)
+        return counts

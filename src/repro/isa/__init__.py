@@ -1,0 +1,59 @@
+"""Instruction-set architecture substrate for the CLEAR reproduction.
+
+The paper's reliability analysis runs SPEC/PERFECT binaries on SPARC (Leon3)
+and Alpha (IVM) RTL.  Our reproduction replaces those proprietary tool flows
+with a small, self-contained 32-bit RISC ISA that both simulated cores
+(:mod:`repro.microarch`) execute.  The package provides:
+
+* :mod:`repro.isa.registers` -- architectural register file description.
+* :mod:`repro.isa.instructions` -- opcodes, instruction metadata and the
+  :class:`~repro.isa.instructions.Instruction` container.
+* :mod:`repro.isa.encoding` -- 32-bit binary encoding/decoding, which is what
+  gives flip-flop-level bit flips in instruction latches a concrete meaning.
+* :mod:`repro.isa.assembler` -- a two-pass assembler with labels, data
+  directives and pseudo-instructions, used by :mod:`repro.workloads`.
+* :mod:`repro.isa.program` -- the assembled program image handed to a core.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    OPCODE_INFO,
+    is_branch,
+    is_load,
+    is_store,
+    is_arithmetic,
+)
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REGISTER_ALIASES,
+    register_index,
+    register_name,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction, EncodingError
+from repro.isa.assembler import Assembler, AssemblerError, assemble
+from repro.isa.program import Program, DataSegment
+
+__all__ = [
+    "Instruction",
+    "InstructionFormat",
+    "Opcode",
+    "OPCODE_INFO",
+    "is_branch",
+    "is_load",
+    "is_store",
+    "is_arithmetic",
+    "NUM_REGISTERS",
+    "REGISTER_ALIASES",
+    "register_index",
+    "register_name",
+    "encode_instruction",
+    "decode_instruction",
+    "EncodingError",
+    "Assembler",
+    "AssemblerError",
+    "assemble",
+    "Program",
+    "DataSegment",
+]

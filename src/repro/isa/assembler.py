@@ -1,0 +1,277 @@
+"""A two-pass assembler for the reproduction ISA.
+
+The assembler turns readable assembly text into a :class:`~repro.isa.program.Program`.
+It supports:
+
+* labels (``loop:``), usable as branch/jump targets and as data addresses,
+* the directives ``.data``, ``.text``, ``.word``, ``.space`` and ``.align``,
+* pseudo-instructions ``li``, ``la``, ``mv``, ``j``, ``ret``, ``call``,
+  ``bgt``, ``ble``, ``not``, ``neg`` and ``inc``/``dec``,
+* ``#`` and ``;`` line comments.
+
+Branch immediates are encoded as instruction-count offsets relative to the
+*next* instruction, matching how the cores' execute stage redirects fetch.
+Jump (``jal``) immediates are absolute instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, MNEMONIC_TO_OPCODE, Opcode, OPCODE_INFO, InstructionFormat
+from repro.isa.program import DataSegment, Program, DEFAULT_DATA_BASE, WORD_BYTES
+from repro.isa.registers import register_index
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+_MEM_OPERAND = re.compile(r"^(?P<offset>-?\w+)\((?P<base>\w+)\)$")
+
+
+@dataclass
+class _SourceLine:
+    number: int
+    label: str | None
+    mnemonic: str | None
+    operands: list[str]
+    directive: str | None
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` objects."""
+
+    def __init__(self, data_base: int = DEFAULT_DATA_BASE):
+        self._data_base = data_base
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` text into a program named ``name``."""
+        lines = self._tokenize(source)
+        symbols, data_words, instruction_lines = self._first_pass(lines)
+        instructions = self._second_pass(instruction_lines, symbols)
+        data = DataSegment(base=self._data_base, words=data_words)
+        return Program(name=name, instructions=instructions, data=data,
+                       symbols=symbols)
+
+    # ------------------------------------------------------------------ pass 0
+    def _tokenize(self, source: str) -> list[_SourceLine]:
+        lines: list[_SourceLine] = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            if not text:
+                continue
+            label = None
+            if ":" in text:
+                label_part, text = text.split(":", 1)
+                label = label_part.strip()
+                if not label or not re.fullmatch(r"[A-Za-z_.][\w.]*", label):
+                    raise AssemblerError(f"invalid label {label_part!r}", number)
+                text = text.strip()
+            directive = None
+            mnemonic = None
+            operands: list[str] = []
+            if text:
+                head, _, rest = text.partition(" ")
+                head = head.lower()
+                operands = [op.strip() for op in rest.split(",") if op.strip()]
+                if head.startswith("."):
+                    directive = head
+                else:
+                    mnemonic = head
+            lines.append(_SourceLine(number, label, mnemonic, operands, directive))
+        return lines
+
+    # ------------------------------------------------------------------ pass 1
+    def _first_pass(self, lines: list[_SourceLine]):
+        symbols: dict[str, int] = {}
+        data_words: list[int] = []
+        instruction_lines: list[_SourceLine] = []
+        in_data = False
+        for line in lines:
+            if line.directive == ".data":
+                in_data = True
+                continue
+            if line.directive == ".text":
+                in_data = False
+                continue
+            if line.label is not None:
+                if line.label in symbols:
+                    raise AssemblerError(f"duplicate label {line.label!r}", line.number)
+                if in_data:
+                    symbols[line.label] = self._data_base + WORD_BYTES * len(data_words)
+                else:
+                    pending = sum(self._expansion_size(entry) for entry in instruction_lines)
+                    symbols[line.label] = WORD_BYTES * pending
+            if in_data:
+                if line.directive == ".word":
+                    for operand in line.operands:
+                        data_words.append(self._parse_int(operand, line.number) & 0xFFFFFFFF)
+                elif line.directive == ".space":
+                    count = self._parse_int(line.operands[0], line.number)
+                    data_words.extend([0] * count)
+                elif line.directive == ".align" or line.directive is None:
+                    continue
+                elif line.mnemonic is not None:
+                    raise AssemblerError("instructions are not allowed in .data", line.number)
+                continue
+            if line.directive in (".align", None) and line.mnemonic is None:
+                continue
+            if line.directive is not None:
+                raise AssemblerError(f"unknown directive {line.directive!r}", line.number)
+            instruction_lines.append(line)
+        return symbols, data_words, instruction_lines
+
+    def _expansion_size(self, line: _SourceLine) -> int:
+        """Number of machine instructions a source line expands to."""
+        if line.mnemonic in ("li", "la"):
+            return 2
+        return 1
+
+    # ------------------------------------------------------------------ pass 2
+    def _second_pass(self, lines: list[_SourceLine], symbols: dict[str, int]) -> list[Instruction]:
+        instructions: list[Instruction] = []
+        for line in lines:
+            expanded = self._expand(line, symbols, current_index=len(instructions))
+            instructions.extend(expanded)
+        return instructions
+
+    def _expand(self, line: _SourceLine, symbols: dict[str, int], current_index: int) -> list[Instruction]:
+        mnemonic = line.mnemonic or ""
+        ops = line.operands
+        number = line.number
+        try:
+            if mnemonic in ("li", "la"):
+                rd = register_index(ops[0])
+                value = self._resolve_value(ops[1], symbols, number)
+                upper = (value >> 14) & 0x3FFFF
+                lower = value & 0x3FFF
+                return [
+                    Instruction(Opcode.LUI, rd=rd, imm=upper),
+                    Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=lower),
+                ]
+            if mnemonic == "mv":
+                return [Instruction(Opcode.ADDI, rd=register_index(ops[0]),
+                                    rs1=register_index(ops[1]), imm=0)]
+            if mnemonic == "not":
+                return [Instruction(Opcode.XORI, rd=register_index(ops[0]),
+                                    rs1=register_index(ops[1]), imm=-1)]
+            if mnemonic == "neg":
+                return [Instruction(Opcode.SUB, rd=register_index(ops[0]),
+                                    rs1=0, rs2=register_index(ops[1]))]
+            if mnemonic == "inc":
+                rd = register_index(ops[0])
+                return [Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=1)]
+            if mnemonic == "dec":
+                rd = register_index(ops[0])
+                return [Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=-1)]
+            if mnemonic == "j":
+                target = self._resolve_jump_target(ops[0], symbols, number)
+                return [Instruction(Opcode.JAL, rd=0, imm=target, label=ops[0])]
+            if mnemonic == "call":
+                target = self._resolve_jump_target(ops[0], symbols, number)
+                return [Instruction(Opcode.JAL, rd=1, imm=target, label=ops[0])]
+            if mnemonic == "ret":
+                return [Instruction(Opcode.JALR, rd=0, rs1=1, imm=0)]
+            if mnemonic == "bgt":
+                return [self._branch(Opcode.BLT, ops[1], ops[0], ops[2], symbols,
+                                     current_index, number)]
+            if mnemonic == "ble":
+                return [self._branch(Opcode.BGE, ops[1], ops[0], ops[2], symbols,
+                                     current_index, number)]
+            if mnemonic == "nop":
+                return [Instruction(Opcode.NOP)]
+            if mnemonic == "halt":
+                return [Instruction(Opcode.HALT)]
+
+            opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+            if opcode is None:
+                raise AssemblerError(f"unknown mnemonic {mnemonic!r}", number)
+            info = OPCODE_INFO[opcode]
+            if info.fmt is InstructionFormat.R:
+                return [Instruction(opcode, rd=register_index(ops[0]),
+                                    rs1=register_index(ops[1]),
+                                    rs2=register_index(ops[2]))]
+            if info.is_load:
+                offset, base = self._parse_memory_operand(ops[1], symbols, number)
+                return [Instruction(opcode, rd=register_index(ops[0]), rs1=base, imm=offset)]
+            if info.is_store:
+                offset, base = self._parse_memory_operand(ops[1], symbols, number)
+                return [Instruction(opcode, rs2=register_index(ops[0]), rs1=base, imm=offset)]
+            if info.is_branch:
+                return [self._branch(opcode, ops[0], ops[1], ops[2], symbols,
+                                     current_index, number)]
+            if opcode is Opcode.JAL:
+                target = self._resolve_jump_target(ops[1], symbols, number)
+                return [Instruction(opcode, rd=register_index(ops[0]), imm=target, label=ops[1])]
+            if opcode is Opcode.JALR:
+                rd = register_index(ops[0])
+                rs1 = register_index(ops[1])
+                imm = self._parse_int(ops[2], number) if len(ops) > 2 else 0
+                return [Instruction(opcode, rd=rd, rs1=rs1, imm=imm)]
+            if opcode is Opcode.OUT:
+                return [Instruction(opcode, rs1=register_index(ops[0]))]
+            if opcode in (Opcode.HALT, Opcode.NOP):
+                return [Instruction(opcode)]
+            if opcode is Opcode.LUI:
+                return [Instruction(opcode, rd=register_index(ops[0]),
+                                    imm=self._resolve_value(ops[1], symbols, number))]
+            if opcode in (Opcode.ASSERT_EQ, Opcode.ASSERT_RANGE):
+                return [Instruction(opcode, rs1=register_index(ops[0]),
+                                    rs2=register_index(ops[1]))]
+            # Remaining I-format ALU operations.
+            return [Instruction(opcode, rd=register_index(ops[0]),
+                                rs1=register_index(ops[1]),
+                                imm=self._resolve_value(ops[2], symbols, number))]
+        except AssemblerError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise AssemblerError(f"bad operands for {mnemonic!r}: {exc}", number) from exc
+
+    # ------------------------------------------------------------------ helpers
+    def _branch(self, opcode: Opcode, rs1: str, rs2: str, target: str,
+                symbols: dict[str, int], current_index: int, number: int) -> Instruction:
+        if target in symbols:
+            target_index = symbols[target] // WORD_BYTES
+            offset = target_index - (current_index + 1)
+        else:
+            offset = self._parse_int(target, number)
+        return Instruction(opcode, rs1=register_index(rs1), rs2=register_index(rs2),
+                           imm=offset, label=target)
+
+    def _resolve_jump_target(self, token: str, symbols: dict[str, int], number: int) -> int:
+        if token in symbols:
+            return symbols[token] // WORD_BYTES
+        return self._parse_int(token, number)
+
+    def _resolve_value(self, token: str, symbols: dict[str, int], number: int) -> int:
+        if token in symbols:
+            return symbols[token]
+        return self._parse_int(token, number)
+
+    def _parse_memory_operand(self, token: str, symbols: dict[str, int], number: int) -> tuple[int, int]:
+        match = _MEM_OPERAND.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}", number)
+        offset_token = match.group("offset")
+        offset = (symbols[offset_token] if offset_token in symbols
+                  else self._parse_int(offset_token, number))
+        return offset, register_index(match.group("base"))
+
+    @staticmethod
+    def _parse_int(token: str, number: int) -> int:
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise AssemblerError(f"expected integer, got {token!r}", number) from exc
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` with default settings (convenience wrapper)."""
+    return Assembler().assemble(source, name=name)

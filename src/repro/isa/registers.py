@@ -1,0 +1,67 @@
+"""Architectural register file description.
+
+The ISA exposes 32 general-purpose 32-bit registers.  Register 0 is hardwired
+to zero (as in SPARC ``%g0`` and MIPS ``$zero``), which the cores enforce on
+every write.  A conventional ABI naming scheme is provided so workload
+assembly stays readable.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+"""Number of architectural general-purpose registers."""
+
+REGISTER_BITS = 32
+"""Width of each architectural register in bits."""
+
+# ABI aliases (loosely modelled on RISC-V to keep workloads readable).
+REGISTER_ALIASES = {
+    "zero": 0,
+    "ra": 1,    # return address
+    "sp": 2,    # stack pointer
+    "gp": 3,    # global pointer
+    "tp": 4,    # thread pointer
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+    "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+"""Mapping from ABI register alias to architectural register index."""
+
+_CANONICAL_NAMES = {index: alias for alias, index in REGISTER_ALIASES.items()}
+# ``fp`` duplicates ``s0``; prefer the saved-register name when printing.
+_CANONICAL_NAMES[8] = "s0"
+
+
+def register_index(name: str) -> int:
+    """Return the architectural index for a register name.
+
+    Accepts raw names (``r7``, ``x7``), ABI aliases (``t2``) and plain
+    integers rendered as strings (``"7"``).
+
+    Raises:
+        ValueError: if the name does not denote a valid register.
+    """
+    token = name.strip().lower()
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token and token[0] in ("r", "x") and token[1:].isdigit():
+        index = int(token[1:])
+    elif token.isdigit():
+        index = int(token)
+    else:
+        raise ValueError(f"unknown register name: {name!r}")
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {name!r}")
+    return index
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI alias for an architectural register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return _CANONICAL_NAMES.get(index, f"r{index}")

@@ -1,0 +1,123 @@
+"""Functional (architecture-level) reference simulator.
+
+Executes a program at one-instruction-per-step without modelling any
+micro-architecture.  It serves three purposes:
+
+* a correctness oracle for the cycle-level cores (both must produce the same
+  output stream);
+* the source of architectural traces used by the alternative injection
+  models of Tables 11/14 (register-write and program-variable injection);
+* a fast execution-time-independent way to compute dynamic instruction
+  counts for workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Opcode, OPCODE_INFO
+from repro.isa.program import DEFAULT_STACK_TOP, Program, WORD_BYTES
+from repro.isa.registers import NUM_REGISTERS
+from repro.microarch.events import TrapKind
+from repro.microarch.execute import ExecuteTrap, execute_operation
+
+
+@dataclass
+class FunctionalResult:
+    """Result of a functional simulation run."""
+
+    output: list[int]
+    instructions: int
+    halted: bool
+    trap: TrapKind | None = None
+
+
+@dataclass
+class TraceEntry:
+    """One architectural event in a functional trace."""
+
+    index: int
+    pc: int
+    opcode: Opcode
+    rd: int | None = None
+    value: int | None = None
+    store_address: int | None = None
+
+
+@dataclass
+class FunctionalTrace:
+    """Architectural trace of a full functional run."""
+
+    result: FunctionalResult
+    register_writes: list[TraceEntry] = field(default_factory=list)
+    memory_writes: list[TraceEntry] = field(default_factory=list)
+
+
+class FunctionalSimulator:
+    """Straight-line interpreter for assembled programs."""
+
+    def __init__(self, max_instructions: int = 2_000_000):
+        self.max_instructions = max_instructions
+
+    def run(self, program: Program, collect_trace: bool = False) -> FunctionalTrace:
+        """Execute ``program`` to completion and optionally collect a trace."""
+        registers = [0] * NUM_REGISTERS
+        registers[2] = DEFAULT_STACK_TOP - WORD_BYTES
+        memory = dict(program.data.as_memory_image())
+        output: list[int] = []
+        register_writes: list[TraceEntry] = []
+        memory_writes: list[TraceEntry] = []
+        pc = program.entry_point
+        executed = 0
+        halted = False
+        trap: TrapKind | None = None
+
+        while executed < self.max_instructions:
+            instruction = program.instruction_at(pc)
+            if instruction is None:
+                trap = TrapKind.FETCH_FAULT
+                break
+            info = OPCODE_INFO[instruction.opcode]
+            try:
+                result = execute_operation(instruction.opcode,
+                                           registers[instruction.rs1],
+                                           registers[instruction.rs2],
+                                           instruction.imm, pc)
+            except ExecuteTrap as exc:
+                trap = exc.kind
+                break
+            executed += 1
+            next_pc = pc + WORD_BYTES
+            value = result.value
+            if info.is_load:
+                value = memory.get(result.memory_address, 0)
+            if info.is_store:
+                memory[result.memory_address] = result.store_value & 0xFFFFFFFF
+                if collect_trace:
+                    memory_writes.append(TraceEntry(
+                        index=executed, pc=pc, opcode=instruction.opcode,
+                        value=result.store_value,
+                        store_address=result.memory_address))
+            if result.output_value is not None:
+                output.append(result.output_value & 0xFFFFFFFF)
+            if result.branch_taken:
+                next_pc = result.branch_target
+            if info.writes_rd and instruction.rd != 0:
+                registers[instruction.rd] = value & 0xFFFFFFFF
+                if collect_trace:
+                    register_writes.append(TraceEntry(
+                        index=executed, pc=pc, opcode=instruction.opcode,
+                        rd=instruction.rd, value=value & 0xFFFFFFFF))
+            if instruction.opcode is Opcode.HALT:
+                halted = True
+                break
+            pc = next_pc
+
+        functional = FunctionalResult(output=output, instructions=executed,
+                                      halted=halted, trap=trap)
+        return FunctionalTrace(result=functional, register_writes=register_writes,
+                               memory_writes=memory_writes)
+
+    def run_output(self, program: Program) -> list[int]:
+        """Convenience: run and return only the output stream."""
+        return self.run(program).result.output

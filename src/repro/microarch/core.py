@@ -1,0 +1,176 @@
+"""Common simulated-core interface.
+
+Every core model (in-order, out-of-order, monitor) implements
+:class:`BaseCore`.  The fault-injection machinery and the resilience library
+interact with cores *only* through this interface plus the flip-flop registry,
+which keeps the cores free of any resilience-specific logic: protection
+semantics are applied from the outside via per-cycle hooks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.isa.program import Program
+from repro.microarch.events import DetectionEvent, RunResult, TerminationReason, TrapKind
+from repro.microarch.flipflop import FlipFlopRegistry
+from repro.microarch.state import LatchState
+
+CycleHook = Callable[["BaseCore", int], None]
+"""Callback invoked at the start of every cycle: ``hook(core, cycle)``."""
+
+DEFAULT_MAX_CYCLES = 2_000_000
+"""Safety watchdog for golden (error-free) runs."""
+
+
+class BaseCore(ABC):
+    """Abstract base class for cycle-level core models.
+
+    Concrete cores must populate ``self.registry`` with every sequential
+    structure before calling :meth:`_finalize_state`, implement
+    :meth:`_reset_microarchitecture` and :meth:`_step_cycle`, and advance the
+    documented counters (``_retired``) as instructions commit.
+    """
+
+    def __init__(self, name: str, clock_mhz: float):
+        self.name = name
+        self.clock_mhz = clock_mhz
+        self.registry = FlipFlopRegistry(name)
+        self.latches: LatchState | None = None
+        self._program: Program | None = None
+        self._cycle = 0
+        self._retired = 0
+        self._output: list[int] = []
+        self._detections: list[DetectionEvent] = []
+        self._recovery_cycles = 0
+        self._pending_recovery = 0
+        self._termination: TerminationReason | None = None
+        self._trap: TrapKind | None = None
+
+    # ------------------------------------------------------------------ build
+    def _finalize_state(self) -> None:
+        """Freeze the registry and allocate latch storage (call once)."""
+        self.registry.freeze()
+        self.latches = LatchState(self.registry)
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def cycle(self) -> int:
+        """Current cycle number."""
+        return self._cycle
+
+    @property
+    def instructions_retired(self) -> int:
+        return self._retired
+
+    @property
+    def output(self) -> list[int]:
+        """Program output emitted so far."""
+        return self._output
+
+    @property
+    def program(self) -> Program | None:
+        return self._program
+
+    @property
+    def flip_flop_count(self) -> int:
+        return self.registry.total_flip_flops
+
+    @property
+    def terminated(self) -> bool:
+        return self._termination is not None
+
+    # ------------------------------------------------------------------ hooks for resilience logic
+    def signal_detection(self, event: DetectionEvent) -> None:
+        """Record an error detection raised by a resilience technique."""
+        self._detections.append(event)
+
+    def force_termination(self, reason: TerminationReason,
+                          trap: TrapKind | None = None) -> None:
+        """Terminate the run at the end of the current cycle."""
+        if self._termination is None:
+            self._termination = reason
+            self._trap = trap
+
+    def schedule_recovery(self, cycles: int) -> None:
+        """Charge ``cycles`` of hardware-recovery stall to the run."""
+        self._pending_recovery += cycles
+        self._recovery_cycles += cycles
+
+    def emit_output(self, value: int) -> None:
+        """Append a value to the program output stream."""
+        self._output.append(value & 0xFFFFFFFF)
+
+    def note_retired(self, count: int = 1) -> None:
+        """Record committed instructions."""
+        self._retired += count
+
+    # ------------------------------------------------------------------ template methods
+    @abstractmethod
+    def _reset_microarchitecture(self, program: Program) -> None:
+        """Reset all core-specific state for a new run of ``program``."""
+
+    @abstractmethod
+    def _step_cycle(self) -> None:
+        """Advance the core by one clock cycle."""
+
+    # ------------------------------------------------------------------ run loop
+    def reset(self, program: Program) -> None:
+        """Prepare the core for a fresh run of ``program``."""
+        if self.latches is None:
+            raise RuntimeError("core state was never finalised")
+        self._program = program
+        self._cycle = 0
+        self._retired = 0
+        self._output = []
+        self._detections = []
+        self._recovery_cycles = 0
+        self._pending_recovery = 0
+        self._termination = None
+        self._trap = None
+        self.latches.clear()
+        self._reset_microarchitecture(program)
+
+    def step(self) -> bool:
+        """Advance one cycle.  Returns False once the run has terminated."""
+        if self._termination is not None:
+            return False
+        if self._pending_recovery > 0:
+            # Hardware recovery stalls the pipeline; no architectural progress.
+            self._pending_recovery -= 1
+            self._cycle += 1
+            return True
+        self._step_cycle()
+        self._cycle += 1
+        return self._termination is None
+
+    def run(self, program: Program, max_cycles: int = DEFAULT_MAX_CYCLES,
+            cycle_hook: CycleHook | None = None) -> RunResult:
+        """Run ``program`` to termination (or the ``max_cycles`` watchdog).
+
+        ``cycle_hook`` is invoked at the start of every cycle and is how the
+        fault injector applies bit flips and how resilience semantics observe
+        the run.
+        """
+        self.reset(program)
+        while self._termination is None:
+            if self._cycle >= max_cycles:
+                self._termination = TerminationReason.HANG
+                break
+            if cycle_hook is not None:
+                cycle_hook(self, self._cycle)
+            if self._termination is not None:
+                break
+            self.step()
+        return RunResult(
+            program_name=program.name,
+            core_name=self.name,
+            reason=self._termination,
+            trap=self._trap,
+            cycles=self._cycle,
+            instructions_retired=self._retired,
+            output=list(self._output),
+            detections=list(self._detections),
+            recovery_cycles=self._recovery_cycles,
+        )

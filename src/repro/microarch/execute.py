@@ -1,0 +1,174 @@
+"""Shared execute-stage semantics.
+
+Both cores perform the same 32-bit ALU/branch arithmetic; only the pipeline
+organisation around it differs.  Keeping the semantics in one module means an
+injected bit flip that reaches an operand latch produces identical functional
+behaviour on either core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import LUI_SHIFT, Opcode
+from repro.microarch.events import TrapKind
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned value as two's-complement signed."""
+    value &= WORD_MASK
+    if value & 0x8000_0000:
+        return value - (1 << 32)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into 32-bit unsigned representation."""
+    return value & WORD_MASK
+
+
+class ExecuteTrap(Exception):
+    """Raised when the execute stage encounters a trap condition."""
+
+    def __init__(self, kind: TrapKind, detail: str = ""):
+        super().__init__(f"{kind.value}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class ExecuteResult:
+    """Outcome of executing one instruction's compute portion.
+
+    Attributes:
+        value: ALU result / link value / effective address payload.
+        branch_taken: True when a conditional branch or jump redirects fetch.
+        branch_target: byte address fetch should redirect to when taken.
+        memory_address: effective address for loads/stores (None otherwise).
+        store_value: value to be written for stores (None otherwise).
+        output_value: value emitted by ``out`` (None otherwise).
+        is_halt: True when the instruction is HALT.
+    """
+
+    value: int = 0
+    branch_taken: bool = False
+    branch_target: int = 0
+    memory_address: int | None = None
+    store_value: int | None = None
+    output_value: int | None = None
+    is_halt: bool = False
+
+
+_BRANCH_PREDICATES = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Opcode.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    Opcode.BLTU: lambda a, b: a < b,
+    Opcode.BGEU: lambda a, b: a >= b,
+}
+
+
+def execute_operation(opcode: Opcode, rs1_value: int, rs2_value: int, imm: int,
+                      pc: int) -> ExecuteResult:
+    """Execute the compute portion of one instruction.
+
+    ``rs1_value`` and ``rs2_value`` are 32-bit unsigned register contents,
+    ``imm`` is the signed immediate and ``pc`` the byte address of the
+    instruction.  Memory is *not* accessed here; loads and stores only have
+    their effective address computed.
+
+    Raises:
+        ExecuteTrap: for divide-by-zero and software assertion failures.
+    """
+    a = rs1_value & WORD_MASK
+    b = rs2_value & WORD_MASK
+
+    if opcode is Opcode.ADD:
+        return ExecuteResult(value=to_unsigned(a + b))
+    if opcode is Opcode.SUB:
+        return ExecuteResult(value=to_unsigned(a - b))
+    if opcode is Opcode.MUL:
+        return ExecuteResult(value=to_unsigned(to_signed(a) * to_signed(b)))
+    if opcode is Opcode.DIV:
+        if b == 0:
+            raise ExecuteTrap(TrapKind.DIVIDE_BY_ZERO, f"pc={pc:#x}")
+        return ExecuteResult(value=to_unsigned(int(to_signed(a) / to_signed(b))
+                                               if to_signed(b) != 0 else 0))
+    if opcode is Opcode.REM:
+        if b == 0:
+            raise ExecuteTrap(TrapKind.DIVIDE_BY_ZERO, f"pc={pc:#x}")
+        quotient = int(to_signed(a) / to_signed(b))
+        return ExecuteResult(value=to_unsigned(to_signed(a) - quotient * to_signed(b)))
+    if opcode is Opcode.AND:
+        return ExecuteResult(value=a & b)
+    if opcode is Opcode.OR:
+        return ExecuteResult(value=a | b)
+    if opcode is Opcode.XOR:
+        return ExecuteResult(value=a ^ b)
+    if opcode is Opcode.SLL:
+        return ExecuteResult(value=to_unsigned(a << (b & 31)))
+    if opcode is Opcode.SRL:
+        return ExecuteResult(value=a >> (b & 31))
+    if opcode is Opcode.SRA:
+        return ExecuteResult(value=to_unsigned(to_signed(a) >> (b & 31)))
+    if opcode is Opcode.SLT:
+        return ExecuteResult(value=1 if to_signed(a) < to_signed(b) else 0)
+    if opcode is Opcode.SLTU:
+        return ExecuteResult(value=1 if a < b else 0)
+
+    if opcode is Opcode.ADDI:
+        return ExecuteResult(value=to_unsigned(a + imm))
+    if opcode is Opcode.ANDI:
+        return ExecuteResult(value=a & to_unsigned(imm))
+    if opcode is Opcode.ORI:
+        return ExecuteResult(value=a | to_unsigned(imm))
+    if opcode is Opcode.XORI:
+        return ExecuteResult(value=a ^ to_unsigned(imm))
+    if opcode is Opcode.SLTI:
+        return ExecuteResult(value=1 if to_signed(a) < imm else 0)
+    if opcode is Opcode.SLLI:
+        return ExecuteResult(value=to_unsigned(a << (imm & 31)))
+    if opcode is Opcode.SRLI:
+        return ExecuteResult(value=a >> (imm & 31))
+    if opcode is Opcode.SRAI:
+        return ExecuteResult(value=to_unsigned(to_signed(a) >> (imm & 31)))
+    if opcode is Opcode.LUI:
+        return ExecuteResult(value=to_unsigned(imm << LUI_SHIFT))
+
+    if opcode in (Opcode.LW, Opcode.LB):
+        return ExecuteResult(memory_address=to_unsigned(a + imm))
+    if opcode in (Opcode.SW, Opcode.SB):
+        return ExecuteResult(memory_address=to_unsigned(a + imm), store_value=b)
+
+    if opcode in _BRANCH_PREDICATES:
+        taken = _BRANCH_PREDICATES[opcode](a, b)
+        target = to_unsigned(pc + 4 + 4 * imm)
+        return ExecuteResult(branch_taken=taken, branch_target=target)
+    if opcode is Opcode.JAL:
+        return ExecuteResult(value=to_unsigned(pc + 4), branch_taken=True,
+                             branch_target=to_unsigned(4 * imm))
+    if opcode is Opcode.JALR:
+        return ExecuteResult(value=to_unsigned(pc + 4), branch_taken=True,
+                             branch_target=to_unsigned(a + imm) & ~0x3)
+
+    if opcode is Opcode.OUT:
+        return ExecuteResult(output_value=a)
+    if opcode is Opcode.HALT:
+        return ExecuteResult(is_halt=True)
+    if opcode is Opcode.NOP:
+        return ExecuteResult()
+    if opcode is Opcode.ASSERT_EQ:
+        if a != b:
+            raise ExecuteTrap(TrapKind.SOFTWARE_ASSERTION,
+                              f"assert_eq failed at pc={pc:#x}: {a} != {b}")
+        return ExecuteResult()
+    if opcode is Opcode.ASSERT_RANGE:
+        if a > b:
+            raise ExecuteTrap(TrapKind.SOFTWARE_ASSERTION,
+                              f"assert_range failed at pc={pc:#x}: {a} > {b}")
+        return ExecuteResult()
+
+    raise ExecuteTrap(TrapKind.ILLEGAL_INSTRUCTION, f"unhandled opcode {opcode!r}")

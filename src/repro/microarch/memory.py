@@ -1,0 +1,115 @@
+"""Simulated data memory.
+
+Both cores share a simple word-addressable memory with three regions (data,
+stack, output scratch).  Accesses outside those regions or misaligned
+accesses raise :class:`MemoryFault`, which the cores turn into a trap; the
+outcome classifier then records the run as an Unexpected Termination --
+exactly the symptom a wild pointer produces on the paper's RTL platforms.
+
+The memory array itself models SRAM, which the paper assumes is protected by
+ECC; it is therefore *not* part of the flip-flop registry and never receives
+injections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import (
+    DEFAULT_DATA_BASE,
+    DEFAULT_OUTPUT_BASE,
+    DEFAULT_STACK_TOP,
+    Program,
+    WORD_BYTES,
+)
+
+
+class MemoryFault(Exception):
+    """Raised for accesses outside the legal memory map or misaligned words."""
+
+    def __init__(self, address: int, reason: str):
+        super().__init__(f"memory fault at {address:#x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A legal address range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+DEFAULT_REGIONS = (
+    MemoryRegion("data", DEFAULT_DATA_BASE, 0x4_0000),
+    MemoryRegion("stack", DEFAULT_STACK_TOP - 0x1_0000, 0x1_0000),
+    MemoryRegion("output", DEFAULT_OUTPUT_BASE, 0x1_0000),
+)
+
+
+class MemorySystem:
+    """Word-addressable simulated memory with region checking."""
+
+    def __init__(self, regions: tuple[MemoryRegion, ...] = DEFAULT_REGIONS):
+        self._regions = regions
+        self._words: dict[int, int] = {}
+
+    def reset(self, program: Program) -> None:
+        """Clear memory and load the program's data segment."""
+        self._words = dict(program.data.as_memory_image())
+
+    # ------------------------------------------------------------------ checks
+    def _check(self, address: int, *, aligned_to: int) -> None:
+        if address % aligned_to != 0:
+            raise MemoryFault(address, f"misaligned access (alignment {aligned_to})")
+        if not any(region.contains(address) for region in self._regions):
+            raise MemoryFault(address, "address outside mapped regions")
+
+    def is_mapped(self, address: int) -> bool:
+        """True when ``address`` falls inside a legal region."""
+        return any(region.contains(address) for region in self._regions)
+
+    # ------------------------------------------------------------------ access
+    def load_word(self, address: int) -> int:
+        self._check(address, aligned_to=WORD_BYTES)
+        return self._words.get(address, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        self._check(address, aligned_to=WORD_BYTES)
+        self._words[address] = value & 0xFFFFFFFF
+
+    def load_byte(self, address: int) -> int:
+        self._check(address, aligned_to=1)
+        word_address = address - (address % WORD_BYTES)
+        if not self.is_mapped(word_address):
+            raise MemoryFault(address, "address outside mapped regions")
+        word = self._words.get(word_address, 0)
+        shift = 8 * (address % WORD_BYTES)
+        return (word >> shift) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        self._check(address, aligned_to=1)
+        word_address = address - (address % WORD_BYTES)
+        if not self.is_mapped(word_address):
+            raise MemoryFault(address, "address outside mapped regions")
+        shift = 8 * (address % WORD_BYTES)
+        word = self._words.get(word_address, 0)
+        word &= ~(0xFF << shift)
+        word |= (value & 0xFF) << shift
+        self._words[word_address] = word
+
+    # ------------------------------------------------------------------ export
+    def dump_region(self, name: str) -> dict[int, int]:
+        """Return ``{address: word}`` for all touched words in region ``name``."""
+        region = next(r for r in self._regions if r.name == name)
+        return {addr: value for addr, value in self._words.items()
+                if region.contains(addr)}
+
+    def words_written(self) -> int:
+        """Number of distinct words currently holding data."""
+        return len(self._words)

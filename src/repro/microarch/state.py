@@ -1,0 +1,91 @@
+"""Flip-flop backed latch state.
+
+:class:`LatchState` stores the value of every registered flip-flop structure
+of a core and is the only place where bit flips are applied.  Cores read and
+write fields through it every cycle, which guarantees that an injected flip
+is observed by whatever logic consumes the latch next -- the property that
+makes flip-flop-level injection meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.microarch.flipflop import FlipFlopRegistry, FlipFlopStructure
+
+
+class LatchState:
+    """Mutable value store for every flip-flop structure of one core."""
+
+    def __init__(self, registry: FlipFlopRegistry):
+        self._registry = registry
+        self._values: dict[str, int] = {s.name: 0 for s in registry.structures}
+
+    @property
+    def registry(self) -> FlipFlopRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------ access
+    def get(self, name: str) -> int:
+        """Current value of structure ``name`` (unsigned, ``width`` bits)."""
+        return self._values[name]
+
+    def get_signed(self, name: str) -> int:
+        """Current value of structure ``name`` interpreted as two's complement."""
+        structure = self._registry.structure(name)
+        value = self._values[name]
+        sign_bit = 1 << (structure.width - 1)
+        if value & sign_bit:
+            return value - (1 << structure.width)
+        return value
+
+    def set(self, name: str, value: int) -> None:
+        """Set structure ``name`` to ``value`` (masked to its width)."""
+        structure = self._registry.structure(name)
+        mask = (1 << structure.width) - 1
+        self._values[name] = value & mask
+
+    def set_signed(self, name: str, value: int) -> None:
+        """Set a structure from a signed Python int (two's complement wrap)."""
+        self.set(name, value)
+
+    def get_bit(self, name: str, bit: int) -> int:
+        return (self._values[name] >> bit) & 1
+
+    def flip_bit(self, name: str, bit: int) -> None:
+        """Flip a single bit of a structure (the soft-error primitive)."""
+        structure = self._registry.structure(name)
+        if not 0 <= bit < structure.width:
+            raise IndexError(f"bit {bit} out of range for {name} (width {structure.width})")
+        self._values[name] ^= 1 << bit
+
+    def flip_flat(self, flat_index: int) -> str:
+        """Flip the flip-flop with global index ``flat_index``.
+
+        Returns the name of the affected structure, for diagnostics.
+        """
+        site = self._registry.site(flat_index)
+        self.flip_bit(site.structure.name, site.bit)
+        return site.structure.name
+
+    # ------------------------------------------------------------------ bulk
+    def clear(self) -> None:
+        """Reset every structure to zero (power-on state)."""
+        for name in self._values:
+            self._values[name] = 0
+
+    def clear_unit(self, unit: str) -> None:
+        """Reset every structure belonging to ``unit`` (used by pipeline flushes)."""
+        for structure in self._registry.structures_in_unit(unit):
+            self._values[structure.name] = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all structure values (used by recovery checkpoints)."""
+        return dict(self._values)
+
+    def restore(self, snapshot: dict[str, int]) -> None:
+        """Restore values captured by :meth:`snapshot`."""
+        for name, value in snapshot.items():
+            if name in self._values:
+                self._values[name] = value
+
+    def structures(self) -> tuple[FlipFlopStructure, ...]:
+        return self._registry.structures

@@ -1,0 +1,53 @@
+"""Physical-design evaluation substrate (28 nm-calibrated analytic models).
+
+Provides the cell library (Table 4), recovery-hardware costs (Table 15), a
+synthetic placement model for flip-flop spacing (Tables 5/6), a timing-slack
+model for parity feasibility, and the design-level cost model used by the
+cross-layer exploration engine.
+"""
+
+from repro.physical.cells import (
+    CELL_LIBRARY,
+    CellType,
+    FlipFlopCell,
+    LogicPrimitives,
+    PRIMITIVES,
+    RecoveryCost,
+    RecoveryKind,
+    available_recoveries,
+    recovery_cost,
+)
+from repro.physical.costmodel import (
+    CoreBudget,
+    CostReport,
+    DesignCostModel,
+    INO_BUDGET,
+    OOO_BUDGET,
+    ParityGroupPlan,
+    budget_for_core,
+)
+from repro.physical.placement import Placement, SpacingDistribution
+from repro.physical.timing import TimingModel, levels_for_group_size
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellType",
+    "FlipFlopCell",
+    "LogicPrimitives",
+    "PRIMITIVES",
+    "RecoveryCost",
+    "RecoveryKind",
+    "available_recoveries",
+    "recovery_cost",
+    "CoreBudget",
+    "CostReport",
+    "DesignCostModel",
+    "INO_BUDGET",
+    "OOO_BUDGET",
+    "ParityGroupPlan",
+    "budget_for_core",
+    "Placement",
+    "SpacingDistribution",
+    "TimingModel",
+    "levels_for_group_size",
+]

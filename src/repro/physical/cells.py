@@ -1,0 +1,146 @@
+"""Standard-cell and hardened flip-flop characteristics (28 nm calibrated).
+
+Reproduces Table 4 (resilient flip-flops) and Table 15 (hardware error
+recovery costs) as data, plus the logic-gate primitives the parity cost model
+is built from.  All values are *relative* to the baseline flip-flop of the
+same library, exactly as the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+
+@unique
+class CellType(Enum):
+    """Sequential cell variants available to the circuit-level techniques."""
+
+    BASELINE = "baseline"
+    LHL = "light-hardened-leap"
+    LEAP_DICE = "leap-dice"
+    LEAP_CTRL_ECONOMY = "leap-ctrl-economy"
+    LEAP_CTRL_RESILIENT = "leap-ctrl-resilient"
+    EDS = "eds"
+
+
+@dataclass(frozen=True)
+class FlipFlopCell:
+    """Relative characteristics of one sequential cell (Table 4).
+
+    ``soft_error_rate`` is relative to the baseline cell (1.0); the
+    suppression probability used by the fault injector is ``1 - SER``.
+    ``detects`` marks error-detecting sequentials (EDS) rather than hardened
+    ones.
+    """
+
+    cell_type: CellType
+    soft_error_rate: float
+    area: float
+    power: float
+    delay: float
+    energy: float
+    detects: bool = False
+
+    @property
+    def suppression(self) -> float:
+        """Probability that an upset is masked by the cell."""
+        if self.detects:
+            return 0.0
+        return max(0.0, 1.0 - self.soft_error_rate)
+
+
+CELL_LIBRARY: dict[CellType, FlipFlopCell] = {
+    CellType.BASELINE: FlipFlopCell(CellType.BASELINE, 1.0, 1.0, 1.0, 1.0, 1.0),
+    CellType.LHL: FlipFlopCell(CellType.LHL, 2.5e-1, 1.2, 1.1, 1.2, 1.3),
+    CellType.LEAP_DICE: FlipFlopCell(CellType.LEAP_DICE, 2.0e-4, 2.0, 1.8, 1.0, 1.8),
+    CellType.LEAP_CTRL_ECONOMY: FlipFlopCell(CellType.LEAP_CTRL_ECONOMY, 1.0, 3.1, 1.2, 1.0, 1.2),
+    CellType.LEAP_CTRL_RESILIENT: FlipFlopCell(CellType.LEAP_CTRL_RESILIENT, 2.0e-4, 3.1, 2.2, 1.0, 2.2),
+    CellType.EDS: FlipFlopCell(CellType.EDS, 0.0, 1.5, 1.4, 1.0, 1.4, detects=True),
+}
+
+
+@dataclass(frozen=True)
+class LogicPrimitives:
+    """Relative cost of combinational primitives, in baseline-flip-flop units."""
+
+    xor_gate_area: float = 0.25
+    xor_gate_power: float = 0.15
+    pipeline_ff_area: float = 1.0
+    pipeline_ff_power: float = 1.0
+    delay_buffer_area: float = 0.20
+    delay_buffer_power: float = 0.12
+    wire_overhead_local: float = 1.00
+    wire_overhead_global: float = 1.35
+    """Wiring multiplier when grouped flip-flops are not co-located."""
+
+
+PRIMITIVES = LogicPrimitives()
+
+
+@unique
+class RecoveryKind(Enum):
+    """Hardware error-recovery mechanisms (Sec. 2.4)."""
+
+    NONE = "none"
+    FLUSH = "flush"
+    ROB = "reorder-buffer"
+    IR = "instruction-replay"
+    EIR = "extended-instruction-replay"
+
+
+@dataclass(frozen=True)
+class RecoveryCost:
+    """Costs of one recovery mechanism on one core (Table 15)."""
+
+    kind: RecoveryKind
+    area_pct: float
+    power_pct: float
+    energy_pct: float
+    latency_cycles: int
+    recovers_all_stages: bool
+    unrecoverable_units: tuple[str, ...] = ()
+
+
+RECOVERY_COSTS: dict[str, dict[RecoveryKind, RecoveryCost]] = {
+    "InO": {
+        RecoveryKind.NONE: RecoveryCost(RecoveryKind.NONE, 0.0, 0.0, 0.0, 0, False,
+                                        unrecoverable_units=("fetch", "decode", "regaccess",
+                                                             "execute", "memory", "exception",
+                                                             "writeback", "icache", "dcache",
+                                                             "peripherals")),
+        RecoveryKind.IR: RecoveryCost(RecoveryKind.IR, 16.0, 21.0, 21.0, 47, True),
+        RecoveryKind.EIR: RecoveryCost(RecoveryKind.EIR, 34.0, 32.0, 32.0, 47, True),
+        RecoveryKind.FLUSH: RecoveryCost(RecoveryKind.FLUSH, 0.6, 0.9, 1.8, 7, False,
+                                         unrecoverable_units=("memory", "exception",
+                                                              "writeback")),
+    },
+    "OoO": {
+        RecoveryKind.NONE: RecoveryCost(RecoveryKind.NONE, 0.0, 0.0, 0.0, 0, False,
+                                        unrecoverable_units=("fetch", "rename", "rob", "issue",
+                                                             "lsu", "execute", "dcache",
+                                                             "branchpred", "debug",
+                                                             "peripherals")),
+        RecoveryKind.IR: RecoveryCost(RecoveryKind.IR, 0.1, 0.1, 0.1, 104, True),
+        RecoveryKind.EIR: RecoveryCost(RecoveryKind.EIR, 0.2, 0.1, 0.1, 104, True),
+        RecoveryKind.ROB: RecoveryCost(RecoveryKind.ROB, 0.01, 0.01, 0.01, 64, False,
+                                       unrecoverable_units=("lsu",)),
+    },
+}
+
+
+def recovery_cost(core_name: str, kind: RecoveryKind) -> RecoveryCost:
+    """Recovery costs for a core ("InO"/"OoO" resolved from the core name).
+
+    Raises:
+        KeyError: when the recovery mechanism is not available on the core
+            (e.g. RoB recovery on the in-order core).
+    """
+    family = "OoO" if ("ooo" in core_name.lower() or "out" in core_name.lower()) else "InO"
+    return RECOVERY_COSTS[family][kind]
+
+
+def available_recoveries(core_name: str) -> list[RecoveryKind]:
+    """Recovery mechanisms implementable on the given core."""
+    family = "OoO" if ("ooo" in core_name.lower() or "out" in core_name.lower()) else "InO"
+    return list(RECOVERY_COSTS[family])

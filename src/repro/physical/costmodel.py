@@ -1,0 +1,227 @@
+"""Design-level cost evaluation (synthesis / place-and-route substitute).
+
+The paper evaluates every resilient design with a full Synopsys 28 nm flow.
+The exploration engine only consumes the resulting relative overheads (area,
+power, energy, execution time), so this module provides an analytic cost
+model with two ingredients:
+
+* a per-core *budget* describing what fraction of the baseline core's area
+  and power the flip-flops account for -- calibrated so that hardening every
+  flip-flop with LEAP-DICE reproduces the paper's measured worst-case
+  overheads (Table 3: 9.3% area / 22.4% energy on the InO-core, 6.5% / 9.4%
+  on the OoO-core);
+* gate-level composition of the added logic (XOR predictor/checker trees,
+  pipeline flip-flops, delay buffers, recovery hardware), scaled once per
+  technique against the paper's all-flip-flop anchor points so that relative
+  comparisons between configurations come out of the model rather than out
+  of a lookup table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.cells import (
+    CELL_LIBRARY,
+    CellType,
+    PRIMITIVES,
+    RecoveryKind,
+    recovery_cost,
+)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Relative overheads of a resilient design over the baseline design."""
+
+    area_pct: float = 0.0
+    power_pct: float = 0.0
+    energy_pct: float = 0.0
+    exec_time_pct: float = 0.0
+    clock_period_pct: float = 0.0
+
+    def combined_with(self, other: "CostReport") -> "CostReport":
+        """Combine two independent additions to the same design.
+
+        Area and power overheads add; execution-time impacts compound; energy
+        is recomputed as (1 + power) * (1 + time) - 1.
+        """
+        area = self.area_pct + other.area_pct
+        power = self.power_pct + other.power_pct
+        exec_time = ((1 + self.exec_time_pct / 100) * (1 + other.exec_time_pct / 100)
+                     - 1) * 100
+        energy = ((1 + power / 100) * (1 + exec_time / 100) - 1) * 100
+        clock = max(self.clock_period_pct, other.clock_period_pct)
+        return CostReport(area_pct=area, power_pct=power, energy_pct=energy,
+                          exec_time_pct=exec_time, clock_period_pct=clock)
+
+    @staticmethod
+    def from_power_and_time(area_pct: float, power_pct: float,
+                            exec_time_pct: float) -> "CostReport":
+        energy = ((1 + power_pct / 100) * (1 + exec_time_pct / 100) - 1) * 100
+        return CostReport(area_pct=area_pct, power_pct=power_pct, energy_pct=energy,
+                          exec_time_pct=exec_time_pct)
+
+
+@dataclass(frozen=True)
+class CoreBudget:
+    """Baseline-core calibration constants."""
+
+    family: str
+    flip_flop_area_fraction: float
+    flip_flop_power_fraction: float
+    # All-flip-flop anchor points from Table 3 (percent of the whole core).
+    parity_all_area_pct: float
+    parity_all_power_pct: float
+    eds_all_area_pct: float
+    eds_all_power_pct: float
+
+
+INO_BUDGET = CoreBudget(family="InO", flip_flop_area_fraction=0.093,
+                        flip_flop_power_fraction=0.280,
+                        parity_all_area_pct=10.9, parity_all_power_pct=23.1,
+                        eds_all_area_pct=10.7, eds_all_power_pct=22.9)
+OOO_BUDGET = CoreBudget(family="OoO", flip_flop_area_fraction=0.065,
+                        flip_flop_power_fraction=0.1175,
+                        parity_all_area_pct=14.1, parity_all_power_pct=13.6,
+                        eds_all_area_pct=12.2, eds_all_power_pct=11.5)
+
+
+def budget_for_core(core_name: str) -> CoreBudget:
+    if "ooo" in core_name.lower() or "out" in core_name.lower():
+        return OOO_BUDGET
+    return INO_BUDGET
+
+
+@dataclass(frozen=True)
+class ParityGroupPlan:
+    """One parity group as seen by the cost model."""
+
+    members: tuple[int, ...]
+    pipelined: bool
+    local: bool
+    """True when all members sit in the same functional unit (short wires)."""
+
+
+class DesignCostModel:
+    """Computes relative overheads of protection configurations for one core."""
+
+    def __init__(self, core_name: str, flip_flop_count: int):
+        self.core_name = core_name
+        self.flip_flop_count = flip_flop_count
+        self.budget = budget_for_core(core_name)
+        self._parity_area_scale, self._parity_power_scale = self._calibrate_parity_scales()
+        self._eds_area_scale, self._eds_power_scale = self._calibrate_eds_scales()
+
+    # ------------------------------------------------------------------ per-FF unit helpers
+    @property
+    def _ff_area_unit_pct(self) -> float:
+        """Core-area percentage of one baseline flip-flop."""
+        return 100.0 * self.budget.flip_flop_area_fraction / self.flip_flop_count
+
+    @property
+    def _ff_power_unit_pct(self) -> float:
+        """Core-power percentage of one baseline flip-flop."""
+        return 100.0 * self.budget.flip_flop_power_fraction / self.flip_flop_count
+
+    # ------------------------------------------------------------------ hardened cells
+    def hardened_cells_cost(self, cell_counts: dict[CellType, int]) -> CostReport:
+        """Cost of swapping baseline flip-flops for hardened variants."""
+        extra_area_units = 0.0
+        extra_power_units = 0.0
+        for cell_type, count in cell_counts.items():
+            cell = CELL_LIBRARY[cell_type]
+            extra_area_units += count * (cell.area - 1.0)
+            extra_power_units += count * (cell.power - 1.0)
+        area = extra_area_units * self._ff_area_unit_pct
+        power = extra_power_units * self._ff_power_unit_pct
+        return CostReport.from_power_and_time(area, power, 0.0)
+
+    # ------------------------------------------------------------------ parity
+    def _parity_group_units(self, size: int, pipelined: bool, local: bool) -> tuple[float, float]:
+        """Raw (area, power) units of one parity group, in baseline-FF units."""
+        xor_count = 2 * max(1, size - 1)        # predictor + checker trees
+        area = xor_count * PRIMITIVES.xor_gate_area + 1.0   # +1 parity flip-flop
+        power = xor_count * PRIMITIVES.xor_gate_power + 1.0
+        if pipelined:
+            pipeline_ffs = max(1, size // 8)
+            area += pipeline_ffs * PRIMITIVES.pipeline_ff_area
+            power += pipeline_ffs * PRIMITIVES.pipeline_ff_power
+        wire = PRIMITIVES.wire_overhead_local if local else PRIMITIVES.wire_overhead_global
+        return area * wire, power * wire
+
+    def _calibrate_parity_scales(self) -> tuple[float, float]:
+        """Scale raw parity units so the all-FF optimized plan hits Table 3.
+
+        Area and power are calibrated independently against the paper's
+        all-flip-flop anchor point; relative differences between parity plans
+        (group sizes, pipelining, locality) still come out of the gate-level
+        composition.  The anchor configuration is the Fig. 3 "optimized" mix:
+        roughly half the flip-flops take 32-bit unpipelined groups and half
+        take 16-bit pipelined groups, which is what the paper's all-flip-flop
+        overhead numbers correspond to.  Pure unpipelined parity on
+        high-slack flip-flops is therefore cheaper per flip-flop than the
+        anchor, which is what makes the LEAP-DICE + parity combination beat
+        LEAP-DICE alone (Table 19 vs Table 17).
+        """
+        unpipelined_share = 0.5
+        unpip_groups = max(1, round(self.flip_flop_count * unpipelined_share / 32))
+        pip_groups = max(1, round(self.flip_flop_count * (1 - unpipelined_share) / 16))
+        unpip_area, unpip_power = self._parity_group_units(32, pipelined=False, local=True)
+        pip_area, pip_power = self._parity_group_units(16, pipelined=True, local=True)
+        raw_total_area_pct = (unpip_groups * unpip_area + pip_groups * pip_area) \
+            * self._ff_area_unit_pct
+        raw_total_power_pct = (unpip_groups * unpip_power + pip_groups * pip_power) \
+            * self._ff_power_unit_pct
+        area_scale = (self.budget.parity_all_area_pct / raw_total_area_pct
+                      if raw_total_area_pct > 0 else 1.0)
+        power_scale = (self.budget.parity_all_power_pct / raw_total_power_pct
+                       if raw_total_power_pct > 0 else 1.0)
+        return area_scale, power_scale
+
+    def parity_cost(self, groups: list[ParityGroupPlan]) -> CostReport:
+        """Cost of a set of parity groups (predictors, checkers, pipelining)."""
+        area_units = 0.0
+        power_units = 0.0
+        for group in groups:
+            area, power = self._parity_group_units(len(group.members), group.pipelined,
+                                                   group.local)
+            area_units += area
+            power_units += power
+        area = area_units * self._ff_area_unit_pct * self._parity_area_scale
+        power = power_units * self._ff_power_unit_pct * self._parity_power_scale
+        return CostReport.from_power_and_time(area, power, 0.0)
+
+    # ------------------------------------------------------------------ EDS
+    def _calibrate_eds_scales(self) -> tuple[float, float]:
+        cell = CELL_LIBRARY[CellType.EDS]
+        raw_area = ((cell.area - 1.0) + PRIMITIVES.delay_buffer_area) * self.flip_flop_count
+        raw_power = ((cell.power - 1.0) + PRIMITIVES.delay_buffer_power) * self.flip_flop_count
+        raw_total_area_pct = raw_area * self._ff_area_unit_pct
+        raw_total_power_pct = raw_power * self._ff_power_unit_pct
+        area_scale = (self.budget.eds_all_area_pct / raw_total_area_pct
+                      if raw_total_area_pct > 0 else 1.0)
+        power_scale = (self.budget.eds_all_power_pct / raw_total_power_pct
+                       if raw_total_power_pct > 0 else 1.0)
+        return area_scale, power_scale
+
+    def eds_cost(self, protected_count: int) -> CostReport:
+        """Cost of EDS cells, delay buffers and error-signal aggregation."""
+        cell = CELL_LIBRARY[CellType.EDS]
+        area_units = protected_count * ((cell.area - 1.0) + PRIMITIVES.delay_buffer_area)
+        power_units = protected_count * ((cell.power - 1.0) + PRIMITIVES.delay_buffer_power)
+        area = area_units * self._ff_area_unit_pct * self._eds_area_scale
+        power = power_units * self._ff_power_unit_pct * self._eds_power_scale
+        return CostReport.from_power_and_time(area, power, 0.0)
+
+    # ------------------------------------------------------------------ recovery & fixed adders
+    def recovery_report(self, kind: RecoveryKind) -> CostReport:
+        """Recovery-hardware cost (Table 15)."""
+        cost = recovery_cost(self.core_name, kind)
+        return CostReport(area_pct=cost.area_pct, power_pct=cost.power_pct,
+                          energy_pct=cost.energy_pct, exec_time_pct=0.0)
+
+    def fixed_overhead(self, area_pct: float, power_pct: float,
+                       exec_time_pct: float) -> CostReport:
+        """Fixed overheads of architecture/software/algorithm techniques."""
+        return CostReport.from_power_and_time(area_pct, power_pct, exec_time_pct)

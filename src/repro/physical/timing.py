@@ -1,0 +1,88 @@
+"""Timing-slack model.
+
+Logic parity adds an XOR predictor tree in front of each protected flip-flop;
+whether that tree fits in the existing clock period depends on the timing
+slack of the flip-flop's path.  The paper's heuristics (Fig. 3, Heuristic 1)
+therefore ask, per flip-flop, whether there is "enough timing slack for a
+32-bit predictor tree"; when there is not, the parity tree must be pipelined
+(extra flip-flops) to keep the clock period unchanged.
+
+Path slack is a place-and-route output; here it is modelled as a per-flip-
+flop number of available XOR levels, drawn deterministically per structure
+from a unit-dependent distribution (datapath-heavy execute/memory stages have
+the least slack, front-end and bookkeeping structures the most).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.microarch.flipflop import FlipFlopRegistry
+
+# Mean available XOR levels per functional-unit family.
+_UNIT_MEAN_LEVELS = {
+    "execute": 3.6,
+    "memory": 4.0,
+    "lsu": 4.0,
+    "regaccess": 4.4,
+    "issue": 4.2,
+    "rob": 4.6,
+    "rename": 4.6,
+    "exception": 4.8,
+    "writeback": 5.0,
+    "decode": 5.2,
+    "fetch": 5.4,
+    "branchpred": 6.0,
+    "icache": 5.6,
+    "dcache": 5.6,
+    "debug": 6.0,
+    "peripherals": 6.0,
+}
+_DEFAULT_MEAN_LEVELS = 4.8
+
+
+def levels_for_group_size(group_size: int) -> int:
+    """XOR-tree depth required to predict parity over ``group_size`` bits."""
+    return max(1, math.ceil(math.log2(max(2, group_size))))
+
+
+class TimingModel:
+    """Per-flip-flop timing slack expressed in available XOR-tree levels."""
+
+    def __init__(self, registry: FlipFlopRegistry, seed: int = 2016):
+        self.registry = registry
+        self._levels: dict[int, int] = {}
+        rng = random.Random(seed)
+        for structure in registry.structures:
+            mean = _UNIT_MEAN_LEVELS.get(structure.unit, _DEFAULT_MEAN_LEVELS)
+            for flat_index in structure.bit_indices():
+                level = round(rng.gauss(mean, 1.0))
+                self._levels[flat_index] = max(1, min(8, level))
+
+    def slack_levels(self, flat_index: int) -> int:
+        """Available XOR levels at this flip-flop without touching the clock."""
+        return self._levels[flat_index]
+
+    def supports_unpipelined(self, flat_index: int, group_size: int = 32) -> bool:
+        """True when a ``group_size``-bit predictor tree fits in the slack."""
+        return self.slack_levels(flat_index) >= levels_for_group_size(group_size)
+
+    def group_supports_unpipelined(self, group: list[int], group_size: int | None = None) -> bool:
+        """True when every member of the group has enough slack."""
+        size = group_size if group_size is not None else len(group)
+        return all(self.supports_unpipelined(member, size) for member in group)
+
+    def fraction_with_slack(self, group_size: int = 32) -> float:
+        """Fraction of flip-flops that can take an unpipelined tree."""
+        total = self.registry.total_flip_flops
+        if total == 0:
+            return 0.0
+        good = sum(1 for i in range(total) if self.supports_unpipelined(i, group_size))
+        return good / total
+
+    def ranked_by_slack(self) -> list[int]:
+        """Flip-flops sorted by decreasing slack (timing parity heuristic)."""
+        indices = list(range(self.registry.total_flip_flops))
+        indices.sort(key=lambda i: (-self._levels[i], i))
+        return indices

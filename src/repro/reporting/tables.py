@@ -1,0 +1,42 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark target under ``benchmarks/`` regenerates one of the paper's
+tables or figures and prints it with these helpers, so the harness output can
+be compared side-by-side with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple aligned text table with a title line."""
+    materialised = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(title: str, points: Iterable[tuple[object, object]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) data series as the two columns of a figure."""
+    return format_table(title, [x_label, y_label], [list(point) for point in points])

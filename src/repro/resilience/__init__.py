@@ -1,0 +1,112 @@
+"""Resilience library: techniques across the system stack plus recovery.
+
+Circuit (LEAP-DICE, LHL, LEAP-ctrl, EDS), logic (parity), architecture (DFC,
+monitor core), software (assertions, CFCSS, EDDI), algorithm (ABFT
+correction/detection) and hardware recovery (IR, EIR, flush, RoB), together
+with the :class:`~repro.resilience.design.ProtectedDesign` configuration
+object that ties a set of techniques to one core.
+"""
+
+from repro.resilience.algorithm import (
+    AbftMeasurement,
+    ABFT_FF_COVERAGE,
+    abft_correction_descriptor,
+    abft_covered_flip_flops,
+    abft_detection_descriptor,
+    measure_abft_impact,
+)
+from repro.resilience.architecture import (
+    DFC_COVERAGE,
+    MONITOR_CORE_IPC,
+    dfc_coverage,
+    dfc_descriptor,
+    monitor_core_descriptor,
+    monitor_core_throughput_sufficient,
+)
+from repro.resilience.base import (
+    CoverageModel,
+    GammaContribution,
+    Layer,
+    TechniqueCosts,
+    TechniqueDescriptor,
+    core_family,
+)
+from repro.resilience.circuit import (
+    HardeningPlan,
+    dual_mode_plan,
+    harden_remaining_with_lhl,
+    harden_top_flip_flops,
+)
+from repro.resilience.design import (
+    ImprovementEstimate,
+    ProtectedDesign,
+    RECOVERY_GAMMA,
+)
+from repro.resilience.library import (
+    TABLE3_PUBLISHED,
+    TUNABLE_TECHNIQUES,
+    TunableTechnique,
+    all_detection_correction_techniques,
+    high_level_techniques,
+    recovery_mechanisms,
+)
+from repro.resilience.logic_parity import (
+    ParityGroup,
+    ParityHeuristic,
+    ParityPlanner,
+    PIPELINED_GROUP_SIZE,
+    UNPIPELINED_GROUP_SIZE,
+)
+from repro.resilience.software import (
+    ASSERTION_BREAKDOWN,
+    EDDI_STORE_READBACK_TABLE,
+    SELECTIVE_EDDI_TABLE,
+    assertions_descriptor,
+    cfcss_descriptor,
+    eddi_descriptor,
+)
+
+__all__ = [
+    "AbftMeasurement",
+    "ABFT_FF_COVERAGE",
+    "abft_correction_descriptor",
+    "abft_covered_flip_flops",
+    "abft_detection_descriptor",
+    "measure_abft_impact",
+    "DFC_COVERAGE",
+    "MONITOR_CORE_IPC",
+    "dfc_coverage",
+    "dfc_descriptor",
+    "monitor_core_descriptor",
+    "monitor_core_throughput_sufficient",
+    "CoverageModel",
+    "GammaContribution",
+    "Layer",
+    "TechniqueCosts",
+    "TechniqueDescriptor",
+    "core_family",
+    "HardeningPlan",
+    "dual_mode_plan",
+    "harden_remaining_with_lhl",
+    "harden_top_flip_flops",
+    "ImprovementEstimate",
+    "ProtectedDesign",
+    "RECOVERY_GAMMA",
+    "TABLE3_PUBLISHED",
+    "TUNABLE_TECHNIQUES",
+    "TunableTechnique",
+    "all_detection_correction_techniques",
+    "high_level_techniques",
+    "recovery_mechanisms",
+    "ParityGroup",
+    "ParityHeuristic",
+    "ParityPlanner",
+    "PIPELINED_GROUP_SIZE",
+    "UNPIPELINED_GROUP_SIZE",
+    "ASSERTION_BREAKDOWN",
+    "EDDI_STORE_READBACK_TABLE",
+    "SELECTIVE_EDDI_TABLE",
+    "assertions_descriptor",
+    "cfcss_descriptor",
+    "eddi_descriptor",
+]

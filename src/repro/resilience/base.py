@@ -1,0 +1,132 @@
+"""Resilience-technique data model.
+
+The resilience library (Sec. 2.4) contains ten error detection/correction
+techniques spanning five abstraction layers plus four hardware recovery
+mechanisms.  This module defines the common vocabulary: layers, technique
+descriptors (costs, coverage, detection latency, gamma contributions) and the
+coverage abstraction used to estimate SDC/DUE improvements from a
+vulnerability map.
+
+Low-level techniques (circuit hardening, logic parity, EDS) are *tunable*:
+they protect an explicit set of flip-flops chosen by the selective-hardening
+heuristics, and their effect is simulated exactly by the fault injector.
+High-level techniques (DFC, monitor core, software assertions, CFCSS, EDDI,
+ABFT) protect whichever flip-flops their checks happen to observe; they are
+characterised by measured coverage parameters (calibrated to the paper's
+flip-flop-injection results) and, for ABFT and assertions, by genuinely
+transformed programs whose detections the simulator observes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class Layer(Enum):
+    """Abstraction layer a technique belongs to (Fig. 1c)."""
+
+    CIRCUIT = "circuit"
+    LOGIC = "logic"
+    ARCHITECTURE = "architecture"
+    SOFTWARE = "software"
+    ALGORITHM = "algorithm"
+
+
+@dataclass(frozen=True)
+class GammaContribution:
+    """A technique's contribution to the susceptibility correction factor γ.
+
+    γ accounts for the extra soft-error susceptibility introduced by a
+    technique: extra flip-flops are extra targets, and longer execution
+    exposes every flip-flop for more cycles (Sec. 2.1, Eq. 1).  The total γ
+    of a configuration multiplies the (1 + flip-flop increase) and
+    (1 + execution-time increase) factors of every technique employed.
+    """
+
+    flip_flop_increase: float = 0.0
+    execution_time_increase: float = 0.0
+
+    @property
+    def factor(self) -> float:
+        return (1.0 + self.flip_flop_increase) * (1.0 + self.execution_time_increase)
+
+
+@dataclass(frozen=True)
+class CoverageModel:
+    """How a high-level technique reduces SDC-/DUE-causing errors.
+
+    Attributes:
+        ff_coverage_sdc: fraction of SDC-vulnerable flip-flops whose errors
+            the technique's checks can observe at all (e.g. Table 8: DFC
+            observes 57-65%).
+        detect_sdc: probability that an observed SDC-causing error is
+            actually detected (e.g. Table 8: ~30% for DFC).
+        ff_coverage_due / detect_due: same for DUE-causing errors.
+        corrects: True when a detection is corrected in place (ABFT
+            correction); detections then remove errors entirely instead of
+            converting them into detected-but-uncorrected errors.
+        false_positive_rate: fraction of error-free runs that raise a check.
+        detection_latency_cycles: mean error-detection latency.
+    """
+
+    ff_coverage_sdc: float
+    detect_sdc: float
+    ff_coverage_due: float
+    detect_due: float
+    corrects: bool = False
+    false_positive_rate: float = 0.0
+    detection_latency_cycles: int = 0
+
+    @property
+    def overall_sdc_detection(self) -> float:
+        """Fraction of all SDC-causing errors detected (or corrected)."""
+        return self.ff_coverage_sdc * self.detect_sdc
+
+    @property
+    def overall_due_detection(self) -> float:
+        return self.ff_coverage_due * self.detect_due
+
+
+@dataclass(frozen=True)
+class TechniqueCosts:
+    """Fixed per-core overheads of a (non-tunable) technique (Table 3)."""
+
+    area_pct: float = 0.0
+    power_pct: float = 0.0
+    exec_time_pct: float = 0.0
+
+
+@dataclass
+class TechniqueDescriptor:
+    """Static description of one resilience technique.
+
+    Tunable (circuit/logic) techniques leave ``coverage`` as None -- their
+    effect is computed per protected flip-flop -- and report zero fixed cost
+    (their cost is computed by the physical cost model from the selected
+    flip-flops).
+    """
+
+    name: str
+    layer: Layer
+    tunable: bool
+    detection_only: bool
+    coverage: CoverageModel | None = None
+    costs_by_core: dict[str, TechniqueCosts] = field(default_factory=dict)
+    gamma_by_core: dict[str, GammaContribution] = field(default_factory=dict)
+    requires_recovery_for_due: bool = True
+    notes: str = ""
+
+    def costs(self, core_family: str) -> TechniqueCosts:
+        return self.costs_by_core.get(core_family, TechniqueCosts())
+
+    def gamma(self, core_family: str) -> GammaContribution:
+        return self.gamma_by_core.get(core_family, GammaContribution())
+
+
+def core_family(core_name: str) -> str:
+    """Map a core name to its family key ("InO" or "OoO")."""
+    if "ooo" in core_name.lower() or "out" in core_name.lower():
+        return "OoO"
+    return "InO"

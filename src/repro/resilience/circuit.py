@@ -1,0 +1,90 @@
+"""Circuit-level resilience: selective flip-flop hardening and EDS.
+
+Circuit techniques are *tunable*: they are applied to an explicit set of
+flip-flops, chosen by vulnerability ranking, so a range of SDC/DUE
+improvements can be traded against cost (Table 17).  The cells available are
+those of Table 4: LEAP-DICE (full hardening), Light-Hardened LEAP (LHL,
+~4x soft-error-rate reduction at ~1.3x energy), the dual-mode LEAP-ctrl, and
+the error-detecting EDS sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.physical.cells import CELL_LIBRARY, CellType
+from repro.resilience.base import Layer
+
+
+@dataclass
+class HardeningPlan:
+    """Assignment of hardened/detecting cells to individual flip-flops."""
+
+    assignments: dict[int, CellType] = field(default_factory=dict)
+
+    def assign(self, flat_indices, cell_type: CellType) -> "HardeningPlan":
+        """Assign ``cell_type`` to every flip-flop in ``flat_indices``."""
+        for flat_index in flat_indices:
+            self.assignments[flat_index] = cell_type
+        return self
+
+    def cell_counts(self) -> dict[CellType, int]:
+        """Number of flip-flops per assigned cell type (baseline cells omitted)."""
+        counts: dict[CellType, int] = {}
+        for cell_type in self.assignments.values():
+            if cell_type is CellType.BASELINE:
+                continue
+            counts[cell_type] = counts.get(cell_type, 0) + 1
+        return counts
+
+    def protected_count(self) -> int:
+        return len([c for c in self.assignments.values() if c is not CellType.BASELINE])
+
+    def cell_for(self, flat_index: int) -> CellType:
+        return self.assignments.get(flat_index, CellType.BASELINE)
+
+    def suppression_for(self, flat_index: int) -> float:
+        """Upset-suppression probability of the cell protecting a flip-flop."""
+        return CELL_LIBRARY[self.cell_for(flat_index)].suppression
+
+
+LAYER = Layer.CIRCUIT
+
+
+def harden_top_flip_flops(ranked_flip_flops: list[int], count: int,
+                          cell_type: CellType = CellType.LEAP_DICE) -> HardeningPlan:
+    """Harden the ``count`` most vulnerable flip-flops with one cell type."""
+    plan = HardeningPlan()
+    plan.assign(ranked_flip_flops[:count], cell_type)
+    return plan
+
+
+def harden_remaining_with_lhl(plan: HardeningPlan, all_flip_flops: range | list[int]) -> HardeningPlan:
+    """Protect every still-unprotected flip-flop with LHL (Sec. 4).
+
+    This is the paper's answer to application-benchmark dependence: after
+    selective hardening guided by the training benchmarks, the remaining
+    flip-flops receive the cheap Light-Hardened LEAP cell so that resilience
+    targets are met even when field applications differ from the training
+    set, at roughly 1% extra cost.
+    """
+    for flat_index in all_flip_flops:
+        if plan.cell_for(flat_index) is CellType.BASELINE:
+            plan.assignments[flat_index] = CellType.LHL
+    return plan
+
+
+def dual_mode_plan(abft_covered: set[int], hardened: dict[int, CellType]) -> HardeningPlan:
+    """Replace hardened cells on ABFT-covered flip-flops by LEAP-ctrl.
+
+    For general-purpose processors that only sometimes run ABFT-protected
+    applications (Sec. 3.2.1), flip-flops protected by ABFT still need
+    circuit protection for non-ABFT applications.  LEAP-ctrl cells provide a
+    resilient mode (when ABFT is unavailable) and an economy mode (when ABFT
+    is running).
+    """
+    plan = HardeningPlan(assignments=dict(hardened))
+    for flat_index in abft_covered:
+        if plan.cell_for(flat_index) in (CellType.LEAP_DICE, CellType.LHL):
+            plan.assignments[flat_index] = CellType.LEAP_CTRL_RESILIENT
+    return plan

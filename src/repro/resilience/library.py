@@ -1,0 +1,77 @@
+"""The resilience library (Fig. 1c): all techniques and recovery mechanisms.
+
+Provides registry-style access to the ten error detection/correction
+techniques and the four hardware recovery mechanisms the paper explores,
+plus the per-technique standalone characteristics used to regenerate
+Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.cells import RecoveryKind, available_recoveries
+from repro.resilience.algorithm import abft_correction_descriptor, abft_detection_descriptor
+from repro.resilience.architecture import dfc_descriptor, monitor_core_descriptor
+from repro.resilience.base import Layer, TechniqueDescriptor
+from repro.resilience.software import assertions_descriptor, cfcss_descriptor, eddi_descriptor
+
+
+@dataclass(frozen=True)
+class TunableTechnique:
+    """A circuit/logic technique applied selectively to flip-flops."""
+
+    name: str
+    layer: Layer
+    detection_only: bool
+    description: str
+
+
+TUNABLE_TECHNIQUES = (
+    TunableTechnique("leap-dice", Layer.CIRCUIT, detection_only=False,
+                     description="Hardened flip-flop; no additional recovery needed."),
+    TunableTechnique("eds", Layer.CIRCUIT, detection_only=True,
+                     description="Error-detecting sequential; needs recovery for correction."),
+    TunableTechnique("parity", Layer.LOGIC, detection_only=True,
+                     description="XOR-tree parity prediction/checking over flip-flop groups."),
+)
+
+
+def high_level_techniques(core_family: str) -> list[TechniqueDescriptor]:
+    """Architecture/software/algorithm techniques applicable to one core family."""
+    techniques = [dfc_descriptor(), abft_correction_descriptor(), abft_detection_descriptor()]
+    if core_family == "InO":
+        techniques.extend([assertions_descriptor(), cfcss_descriptor(), eddi_descriptor()])
+    else:
+        techniques.append(monitor_core_descriptor())
+    return techniques
+
+
+def all_detection_correction_techniques() -> list[str]:
+    """Names of the ten detection/correction techniques in the library."""
+    return ["abft-correction", "abft-detection", "assertions", "cfcss", "eddi",
+            "dfc", "monitor-core", "parity", "leap-dice", "eds"]
+
+
+def recovery_mechanisms(core_name: str) -> list[RecoveryKind]:
+    """The hardware recovery mechanisms available on a core."""
+    return available_recoveries(core_name)
+
+
+#: Standalone technique characteristics as published (Table 3), used by the
+#: Table 3 benchmark harness to print paper-reference rows next to the
+#: model-computed ones.
+TABLE3_PUBLISHED = {
+    ("leap-dice", "InO"): {"energy_max_pct": 22.4, "sdc_max": 5000, "due_max": 5000},
+    ("leap-dice", "OoO"): {"energy_max_pct": 9.4, "sdc_max": 5000, "due_max": 5000},
+    ("parity-ir", "InO"): {"energy_max_pct": 44.0, "sdc_max": 100000, "due_max": 100000},
+    ("parity-ir", "OoO"): {"energy_max_pct": 13.7, "sdc_max": 100000, "due_max": 100000},
+    ("dfc", "InO"): {"energy_pct": 7.3, "sdc": 1.2, "due": 0.5},
+    ("dfc", "OoO"): {"energy_pct": 7.2, "sdc": 1.2, "due": 0.5},
+    ("monitor-core", "OoO"): {"energy_pct": 16.3, "sdc": 19.0, "due": 15.0},
+    ("assertions", "InO"): {"energy_pct": 15.6, "sdc": 1.5, "due": 0.6},
+    ("cfcss", "InO"): {"energy_pct": 40.6, "sdc": 1.5, "due": 0.5},
+    ("eddi", "InO"): {"energy_pct": 110.0, "sdc": 37.8, "due": 0.3},
+    ("abft-correction", "both"): {"energy_pct": 1.4, "sdc": 4.3, "due": 1.2},
+    ("abft-detection", "both"): {"energy_pct": 24.0, "sdc": 3.5, "due": 0.5},
+}

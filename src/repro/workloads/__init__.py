@@ -1,0 +1,32 @@
+"""Benchmark workloads for the CLEAR reproduction.
+
+18 programs (11 SPEC-class + 7 PERFECT-class) with Python reference models
+and, for the PERFECT kernels, ABFT-protected variants.  See
+:mod:`repro.workloads.base` for the workload data model and
+:mod:`repro.workloads.suite` for suite-level accessors.
+"""
+
+from repro.workloads.base import AbftSupport, Workload, WorkloadClass, lcg_sequence
+from repro.workloads.suite import (
+    abft_correction_suite,
+    abft_detection_suite,
+    full_suite,
+    perfect_suite,
+    spec_suite,
+    suite_for_core,
+    workload_by_name,
+)
+
+__all__ = [
+    "AbftSupport",
+    "Workload",
+    "WorkloadClass",
+    "lcg_sequence",
+    "abft_correction_suite",
+    "abft_detection_suite",
+    "full_suite",
+    "perfect_suite",
+    "spec_suite",
+    "suite_for_core",
+    "workload_by_name",
+]

@@ -1,0 +1,122 @@
+"""Workload infrastructure: definitions, data generation and golden outputs.
+
+The paper evaluates 18 full-length benchmarks (SPECINT2000 plus DARPA
+PERFECT kernels).  Our reproduction provides 18 self-contained programs with
+the same *roles*: eleven control/integer-heavy "SPEC-class" programs and
+seven signal/image-processing "PERFECT-class" kernels, three of which are
+amenable to ABFT correction (2d_convolution, debayer_filter, inner_product)
+and the rest to ABFT detection -- mirroring Sec. 3.2 of the paper.
+
+Every workload carries:
+
+* the assembly source of the baseline program,
+* optional ABFT-correction / ABFT-detection variants (used by
+  :mod:`repro.resilience.algorithm`),
+* a pure-Python reference model that computes the expected output stream,
+  which doubles as a correctness oracle for the core models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Callable
+
+from repro.isa import Program, assemble
+
+
+@unique
+class WorkloadClass(Enum):
+    """Which suite a workload stands in for."""
+
+    SPEC = "spec"
+    PERFECT = "perfect"
+
+
+@unique
+class AbftSupport(Enum):
+    """Which ABFT flavour (if any) the workload's algorithm admits."""
+
+    NONE = "none"
+    CORRECTION = "correction"
+    DETECTION = "detection"
+
+
+def lcg_sequence(count: int, seed: int = 2016, modulus: int = 256) -> list[int]:
+    """Deterministic pseudo-random data used to fill workload inputs.
+
+    A small linear congruential generator; the same constants are used by the
+    assembly-side data sections (values are baked in at assembly time) and by
+    the Python reference models, so both operate on identical inputs.
+    """
+    values = []
+    state = seed & 0x7FFFFFFF
+    for _ in range(count):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append(state % modulus)
+    return values
+
+
+@dataclass
+class Workload:
+    """A single benchmark program plus its reference model.
+
+    Attributes:
+        name: benchmark name (``"bzip2"``, ``"2d_convolution"``, ...).
+        suite: SPEC-class or PERFECT-class.
+        source: baseline assembly text.
+        reference: callable returning the expected output stream.
+        abft: which ABFT flavour the underlying algorithm admits.
+        abft_source: assembly of the ABFT-protected variant (when ``abft`` is
+            not NONE); produces the same output stream as the baseline on
+            error-free runs.
+        ooo_compatible: False for workloads the paper could not run on the
+            OoO RTL model (footnote 3); we reproduce the same restriction so
+            per-core benchmark counts match (11+7 for InO, 8+3 for OoO).
+        description: one-line description of the modelled application.
+    """
+
+    name: str
+    suite: WorkloadClass
+    source: str
+    reference: Callable[[], list[int]]
+    abft: AbftSupport = AbftSupport.NONE
+    abft_source: str | None = None
+    ooo_compatible: bool = True
+    description: str = ""
+    _program_cache: dict[str, Program] = field(default_factory=dict, repr=False)
+
+    def program(self) -> Program:
+        """Assemble (and cache) the baseline program."""
+        if "base" not in self._program_cache:
+            program = assemble(self.source, name=self.name)
+            program.expected_output = self.reference()
+            self._program_cache["base"] = program
+        return self._program_cache["base"]
+
+    def abft_program(self) -> Program:
+        """Assemble (and cache) the ABFT-protected variant.
+
+        Raises:
+            ValueError: if the workload has no ABFT variant.
+        """
+        if self.abft is AbftSupport.NONE or self.abft_source is None:
+            raise ValueError(f"workload {self.name!r} has no ABFT variant")
+        if "abft" not in self._program_cache:
+            program = assemble(self.abft_source, name=f"{self.name}_abft")
+            program.expected_output = self.reference()
+            self._program_cache["abft"] = program
+        return self._program_cache["abft"]
+
+    def expected_output(self) -> list[int]:
+        """Golden output stream from the Python reference model."""
+        return self.reference()
+
+
+def words_directive(values: list[int], per_line: int = 12) -> str:
+    """Render a list of integers as ``.word`` directives."""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        lines.append("    .word " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)

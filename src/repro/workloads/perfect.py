@@ -1,0 +1,1034 @@
+"""PERFECT-class workloads.
+
+Seven signal/image-processing kernels standing in for the DARPA PERFECT
+benchmarks the paper uses: 2d_convolution, debayer_filter, inner_product
+(matrix product), fft (Walsh-Hadamard transform), histogram, outer_product
+and sort.  The first three admit Algorithm-Based Fault Tolerance *correction*
+and the remaining four ABFT *detection*, mirroring Sec. 3.2 of the paper.
+
+Each ABFT variant augments the baseline algorithm with an algebraic checksum
+invariant:
+
+* ``2d_convolution``: ``sum(output) == sum(input) * sum(kernel)`` (circular
+  convolution), corrected by recomputation on mismatch.
+* ``debayer_filter``: ``sum(output) == sum(input[p] * w[p])`` where ``w`` is a
+  geometry-only weight table, corrected by recomputation.
+* ``inner_product``: Huang-Abraham checksum test
+  ``sum(C) == sum_k colsum(A)[k] * rowsum(B)[k]``, corrected by
+  recomputation.
+* ``fft``: Parseval check ``sum(X**2) == N * sum(x**2)`` (detection only).
+* ``histogram``: population invariant ``sum(bins) == N`` (detection only).
+* ``outer_product``: ``sum(output) == sum(a) * sum(b)`` (detection only).
+* ``sort``: permutation-sum preservation plus sortedness (detection only).
+
+Detection failures raise the ``assert_eq`` trap, which the outcome classifier
+records as a detected error (the paper's ED outcome).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    AbftSupport,
+    Workload,
+    WorkloadClass,
+    lcg_sequence,
+    words_directive,
+)
+
+# The paper ran only three PERFECT benchmarks on the OoO RTL model.
+_OOO_COMPATIBLE = {"2d_convolution", "debayer_filter", "inner_product"}
+
+
+# --------------------------------------------------------------------------- 2d_convolution
+_CONV_N = 6
+_CONV_K = 3
+_CONV_INPUT = [v % 16 for v in lcg_sequence(_CONV_N * _CONV_N, seed=211)]
+_CONV_KERNEL = [v % 4 for v in lcg_sequence(_CONV_K * _CONV_K, seed=223)]
+
+
+def _conv_outputs() -> list[int]:
+    out = [0] * (_CONV_N * _CONV_N)
+    for i in range(_CONV_N):
+        for j in range(_CONV_N):
+            acc = 0
+            for di in range(_CONV_K):
+                for dj in range(_CONV_K):
+                    src = _CONV_INPUT[((i + di) % _CONV_N) * _CONV_N + (j + dj) % _CONV_N]
+                    acc += src * _CONV_KERNEL[di * _CONV_K + dj]
+            out[i * _CONV_N + j] = acc
+    return out
+
+
+def _conv_reference() -> list[int]:
+    out = _conv_outputs()
+    return [sum(out), out[0], out[-1]]
+
+
+_CONV_BODY = f"""
+# conv(): compute the circular 2-D convolution into `outbuf`.
+# Returns a2 = sum of all output elements.  Clobbers t0-t6, s2-s6.
+conv:
+    li a2, 0
+    li t0, 0                  # i
+convi:
+    li t6, {_CONV_N}
+    bge t0, t6, convret
+    li t1, 0                  # j
+convj:
+    li t6, {_CONV_N}
+    bge t1, t6, convinext
+    li s2, 0                  # acc
+    li t2, 0                  # di
+convdi:
+    li t6, {_CONV_K}
+    bge t2, t6, convstore
+    li t3, 0                  # dj
+convdj:
+    li t6, {_CONV_K}
+    bge t3, t6, convdinext
+    add t4, t0, t2            # i + di
+    li t6, {_CONV_N}
+    blt t4, t6, rowok
+    sub t4, t4, t6
+rowok:
+    add t5, t1, t3            # j + dj
+    blt t5, t6, colok
+    sub t5, t5, t6
+colok:
+    li t6, {_CONV_N}
+    mul t4, t4, t6
+    add t4, t4, t5
+    slli t4, t4, 2
+    add t4, a0, t4
+    lw t4, 0(t4)              # input element
+    li t6, {_CONV_K}
+    mul s3, t2, t6
+    add s3, s3, t3
+    slli s3, s3, 2
+    add s3, a1, s3
+    lw s3, 0(s3)              # kernel element
+    mul t4, t4, s3
+    add s2, s2, t4
+    addi t3, t3, 1
+    j convdj
+convdinext:
+    addi t2, t2, 1
+    j convdi
+convstore:
+    li t6, {_CONV_N}
+    mul t4, t0, t6
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, a4, t4
+    sw s2, 0(t4)
+    add a2, a2, s2
+    addi t1, t1, 1
+    j convj
+convinext:
+    addi t0, t0, 1
+    j convi
+convret:
+    ret
+"""
+
+_CONV_OUTPUT_TAIL = f"""
+emit:
+    out a2
+    lw t0, 0(a4)
+    out t0
+    li t1, {(_CONV_N * _CONV_N - 1) * 4}
+    add t1, a4, t1
+    lw t1, 0(t1)
+    out t1
+    halt
+"""
+
+_CONV_SOURCE = f"""
+    .data
+input:
+{words_directive(_CONV_INPUT)}
+kernel:
+{words_directive(_CONV_KERNEL)}
+outbuf:
+    .space {_CONV_N * _CONV_N}
+    .text
+main:
+    la a0, input
+    la a1, kernel
+    la a4, outbuf
+    call conv
+    j emit
+{_CONV_BODY}
+{_CONV_OUTPUT_TAIL}
+"""
+
+_CONV_ABFT_SOURCE = f"""
+    .data
+input:
+{words_directive(_CONV_INPUT)}
+kernel:
+{words_directive(_CONV_KERNEL)}
+outbuf:
+    .space {_CONV_N * _CONV_N}
+    .text
+main:
+    la a0, input
+    la a1, kernel
+    la a4, outbuf
+    # ABFT checksum: expected output sum = sum(input) * sum(kernel).
+    li s8, 0
+    li t0, 0
+    li t1, {_CONV_N * _CONV_N}
+sumin:
+    bge t0, t1, sumk
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)
+    add s8, s8, t3
+    addi t0, t0, 1
+    j sumin
+sumk:
+    li s9, 0
+    li t0, 0
+    li t1, {_CONV_K * _CONV_K}
+sumkl:
+    bge t0, t1, runconv
+    slli t2, t0, 2
+    add t2, a1, t2
+    lw t3, 0(t2)
+    add s9, s9, t3
+    addi t0, t0, 1
+    j sumkl
+runconv:
+    mul s8, s8, s9            # expected checksum
+    li s10, 0                 # retry counter
+attempt:
+    call conv
+    beq a2, s8, emit          # checksum matches: accept
+    li t0, 1
+    bge s10, t0, emit         # already retried once: give up, emit anyway
+    addi s10, s10, 1
+    j attempt                 # ABFT correction: recompute the kernel
+{_CONV_BODY}
+{_CONV_OUTPUT_TAIL}
+"""
+
+
+# --------------------------------------------------------------------------- debayer_filter
+_DEBAYER_N = 6
+_DEBAYER_INPUT = [v % 64 for v in lcg_sequence(_DEBAYER_N * _DEBAYER_N, seed=227)]
+
+
+def _debayer_weights() -> list[int]:
+    """Geometry-only weight of each input pixel in the interior-output sum."""
+    weights = [0] * (_DEBAYER_N * _DEBAYER_N)
+    for i in range(1, _DEBAYER_N - 1):
+        for j in range(1, _DEBAYER_N - 1):
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                weights[(i + di) * _DEBAYER_N + (j + dj)] += 1
+    return weights
+
+
+def _debayer_outputs() -> list[int]:
+    out = []
+    for i in range(1, _DEBAYER_N - 1):
+        for j in range(1, _DEBAYER_N - 1):
+            acc = (_DEBAYER_INPUT[(i - 1) * _DEBAYER_N + j]
+                   + _DEBAYER_INPUT[(i + 1) * _DEBAYER_N + j]
+                   + _DEBAYER_INPUT[i * _DEBAYER_N + j - 1]
+                   + _DEBAYER_INPUT[i * _DEBAYER_N + j + 1])
+            out.append(acc)
+    return out
+
+
+def _debayer_reference() -> list[int]:
+    out = _debayer_outputs()
+    return [sum(out), out[0], out[-1]]
+
+
+_DEBAYER_BODY = f"""
+# debayer(): 4-neighbour interpolation of the interior pixels into `outbuf`.
+# Returns a2 = sum of interpolated values.  Clobbers t0-t6, s2-s3.
+debayer:
+    li a2, 0
+    li s3, 0                   # output index
+    li t0, 1                   # i
+dbi:
+    li t6, {_DEBAYER_N - 1}
+    bge t0, t6, dbret
+    li t1, 1                   # j
+dbj:
+    li t6, {_DEBAYER_N - 1}
+    bge t1, t6, dbinext
+    li t6, {_DEBAYER_N}
+    addi t2, t0, -1
+    mul t2, t2, t6
+    add t2, t2, t1
+    slli t2, t2, 2
+    add t2, a0, t2
+    lw s2, 0(t2)               # in[i-1][j]
+    addi t2, t0, 1
+    mul t2, t2, t6
+    add t2, t2, t1
+    slli t2, t2, 2
+    add t2, a0, t2
+    lw t3, 0(t2)               # in[i+1][j]
+    add s2, s2, t3
+    mul t2, t0, t6
+    add t2, t2, t1
+    addi t2, t2, -1
+    slli t2, t2, 2
+    add t2, a0, t2
+    lw t3, 0(t2)               # in[i][j-1]
+    add s2, s2, t3
+    mul t2, t0, t6
+    add t2, t2, t1
+    addi t2, t2, 1
+    slli t2, t2, 2
+    add t2, a0, t2
+    lw t3, 0(t2)               # in[i][j+1]
+    add s2, s2, t3
+    slli t2, s3, 2
+    add t2, a4, t2
+    sw s2, 0(t2)
+    add a2, a2, s2
+    addi s3, s3, 1
+    addi t1, t1, 1
+    j dbj
+dbinext:
+    addi t0, t0, 1
+    j dbi
+dbret:
+    ret
+"""
+
+_DEBAYER_TAIL = f"""
+emit:
+    out a2
+    lw t0, 0(a4)
+    out t0
+    li t1, {((_DEBAYER_N - 2) * (_DEBAYER_N - 2) - 1) * 4}
+    add t1, a4, t1
+    lw t1, 0(t1)
+    out t1
+    halt
+"""
+
+_DEBAYER_SOURCE = f"""
+    .data
+input:
+{words_directive(_DEBAYER_INPUT)}
+outbuf:
+    .space {(_DEBAYER_N - 2) * (_DEBAYER_N - 2)}
+    .text
+main:
+    la a0, input
+    la a4, outbuf
+    call debayer
+    j emit
+{_DEBAYER_BODY}
+{_DEBAYER_TAIL}
+"""
+
+_DEBAYER_ABFT_SOURCE = f"""
+    .data
+input:
+{words_directive(_DEBAYER_INPUT)}
+weights:
+{words_directive(_debayer_weights())}
+outbuf:
+    .space {(_DEBAYER_N - 2) * (_DEBAYER_N - 2)}
+    .text
+main:
+    la a0, input
+    la a1, weights
+    la a4, outbuf
+    # ABFT checksum: expected output sum = sum(input[p] * weight[p]).
+    li s8, 0
+    li t0, 0
+    li t1, {_DEBAYER_N * _DEBAYER_N}
+wsum:
+    bge t0, t1, rundb
+    slli t2, t0, 2
+    add t3, a0, t2
+    lw t3, 0(t3)
+    add t4, a1, t2
+    lw t4, 0(t4)
+    mul t3, t3, t4
+    add s8, s8, t3
+    addi t0, t0, 1
+    j wsum
+rundb:
+    li s10, 0                 # retry counter
+attempt:
+    call debayer
+    beq a2, s8, emit
+    li t0, 1
+    bge s10, t0, emit
+    addi s10, s10, 1
+    j attempt                 # ABFT correction: recompute
+{_DEBAYER_BODY}
+{_DEBAYER_TAIL}
+"""
+
+
+# --------------------------------------------------------------------------- inner_product (matrix product)
+_MM_N = 4
+_MM_A = [v % 10 for v in lcg_sequence(_MM_N * _MM_N, seed=229)]
+_MM_B = [v % 10 for v in lcg_sequence(_MM_N * _MM_N, seed=233)]
+
+
+def _mm_outputs() -> list[int]:
+    out = [0] * (_MM_N * _MM_N)
+    for i in range(_MM_N):
+        for j in range(_MM_N):
+            out[i * _MM_N + j] = sum(_MM_A[i * _MM_N + k] * _MM_B[k * _MM_N + j]
+                                     for k in range(_MM_N))
+    return out
+
+
+def _mm_reference() -> list[int]:
+    out = _mm_outputs()
+    return [sum(out), out[0], out[-1]]
+
+
+_MM_BODY = f"""
+# matmul(): C = A * B ({_MM_N}x{_MM_N}).  Returns a2 = sum(C).
+# Clobbers t0-t6, s2-s4.
+matmul:
+    li a2, 0
+    li t0, 0                  # i
+mmi:
+    li t6, {_MM_N}
+    bge t0, t6, mmret
+    li t1, 0                  # j
+mmj:
+    bge t1, t6, mminext
+    li s2, 0                  # acc
+    li t2, 0                  # k
+mmk:
+    bge t2, t6, mmstore
+    mul t3, t0, t6
+    add t3, t3, t2
+    slli t3, t3, 2
+    add t3, a0, t3
+    lw t3, 0(t3)              # A[i][k]
+    mul t4, t2, t6
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, a1, t4
+    lw t4, 0(t4)              # B[k][j]
+    mul t3, t3, t4
+    add s2, s2, t3
+    addi t2, t2, 1
+    j mmk
+mmstore:
+    mul t3, t0, t6
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, a4, t3
+    sw s2, 0(t3)
+    add a2, a2, s2
+    addi t1, t1, 1
+    j mmj
+mminext:
+    addi t0, t0, 1
+    j mmi
+mmret:
+    ret
+"""
+
+_MM_TAIL = f"""
+emit:
+    out a2
+    lw t0, 0(a4)
+    out t0
+    li t1, {(_MM_N * _MM_N - 1) * 4}
+    add t1, a4, t1
+    lw t1, 0(t1)
+    out t1
+    halt
+"""
+
+_MM_SOURCE = f"""
+    .data
+mata:
+{words_directive(_MM_A)}
+matb:
+{words_directive(_MM_B)}
+matc:
+    .space {_MM_N * _MM_N}
+    .text
+main:
+    la a0, mata
+    la a1, matb
+    la a4, matc
+    call matmul
+    j emit
+{_MM_BODY}
+{_MM_TAIL}
+"""
+
+_MM_ABFT_SOURCE = f"""
+    .data
+mata:
+{words_directive(_MM_A)}
+matb:
+{words_directive(_MM_B)}
+matc:
+    .space {_MM_N * _MM_N}
+    .text
+main:
+    la a0, mata
+    la a1, matb
+    la a4, matc
+    # Huang-Abraham checksum: sum(C) == sum_k colsum(A)[k] * rowsum(B)[k].
+    li s8, 0
+    li t2, 0                  # k
+hacol:
+    li t6, {_MM_N}
+    bge t2, t6, runmm
+    li s2, 0                  # colsum(A)[k]
+    li s3, 0                  # rowsum(B)[k]
+    li t0, 0
+hain:
+    bge t0, t6, hadot
+    mul t3, t0, t6
+    add t3, t3, t2
+    slli t3, t3, 2
+    add t3, a0, t3
+    lw t3, 0(t3)              # A[i][k]
+    add s2, s2, t3
+    mul t4, t2, t6
+    add t4, t4, t0
+    slli t4, t4, 2
+    add t4, a1, t4
+    lw t4, 0(t4)              # B[k][j]
+    add s3, s3, t4
+    addi t0, t0, 1
+    j hain
+hadot:
+    mul s2, s2, s3
+    add s8, s8, s2
+    addi t2, t2, 1
+    j hacol
+runmm:
+    li s10, 0                 # retry counter
+attempt:
+    call matmul
+    beq a2, s8, emit
+    li t0, 1
+    bge s10, t0, emit
+    addi s10, s10, 1
+    j attempt                 # ABFT correction: recompute
+{_MM_BODY}
+{_MM_TAIL}
+"""
+
+
+# --------------------------------------------------------------------------- fft (Walsh-Hadamard transform)
+_FFT_N = 8
+_FFT_INPUT = [v % 32 for v in lcg_sequence(_FFT_N, seed=239)]
+
+
+def _fft_outputs() -> list[int]:
+    data = list(_FFT_INPUT)
+    size = 1
+    while size < _FFT_N:
+        for start in range(0, _FFT_N, size * 2):
+            for offset in range(size):
+                a = data[start + offset]
+                b = data[start + offset + size]
+                data[start + offset] = a + b
+                data[start + offset + size] = a - b
+        size *= 2
+    return data
+
+
+def _fft_reference() -> list[int]:
+    spectrum = _fft_outputs()
+    energy = sum(value * value for value in spectrum)
+    return [spectrum[0] & 0xFFFFFFFF, energy]
+
+
+_FFT_COMMON = f"""
+# wht(): in-place Walsh-Hadamard transform of `buf` ({_FFT_N} points).
+wht:
+    li s2, 1                   # size
+whtsz:
+    li t6, {_FFT_N}
+    bge s2, t6, whtret
+    li t0, 0                   # start
+whtst:
+    bge t0, t6, whtnext
+    li t1, 0                   # offset
+whtof:
+    bge t1, s2, whtstnext
+    add t2, t0, t1
+    slli t3, t2, 2
+    add t3, a0, t3
+    lw t4, 0(t3)               # a
+    add t2, t2, s2
+    slli t2, t2, 2
+    add t2, a0, t2
+    lw t5, 0(t2)               # b
+    add s3, t4, t5
+    sw s3, 0(t3)
+    sub s3, t4, t5
+    sw s3, 0(t2)
+    addi t1, t1, 1
+    j whtof
+whtstnext:
+    slli t2, s2, 1
+    add t0, t0, t2
+    j whtst
+whtnext:
+    slli s2, s2, 1
+    j whtsz
+whtret:
+    ret
+
+# energy(): a2 = sum of squares of `buf`.
+energy:
+    li a2, 0
+    li t0, 0
+    li t6, {_FFT_N}
+enloop:
+    bge t0, t6, enret
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)
+    mul t2, t2, t2
+    add a2, a2, t2
+    addi t0, t0, 1
+    j enloop
+enret:
+    ret
+"""
+
+_FFT_SOURCE = f"""
+    .data
+buf:
+{words_directive(_FFT_INPUT)}
+    .text
+main:
+    la a0, buf
+    call wht
+    lw t0, 0(a0)
+    out t0
+    call energy
+    out a2
+    halt
+{_FFT_COMMON}
+"""
+
+_FFT_ABFT_SOURCE = f"""
+    .data
+buf:
+{words_directive(_FFT_INPUT)}
+    .text
+main:
+    la a0, buf
+    call energy
+    mv s8, a2                  # input energy
+    li t6, {_FFT_N}
+    mul s8, s8, t6             # Parseval: expected spectrum energy
+    call wht
+    lw s9, 0(a0)
+    call energy
+    assert_eq a2, s8           # ABFT detection: Parseval check
+    out s9
+    out a2
+    halt
+{_FFT_COMMON}
+"""
+
+
+# --------------------------------------------------------------------------- histogram
+_HIST_N = 64
+_HIST_BINS = 8
+_HIST_DATA = [v % _HIST_BINS for v in lcg_sequence(_HIST_N, seed=241)]
+
+
+def _hist_reference() -> list[int]:
+    bins = [0] * _HIST_BINS
+    for value in _HIST_DATA:
+        bins[value] += 1
+    checksum = sum(bins[i] * (i + 1) for i in range(_HIST_BINS))
+    return [checksum, max(bins)]
+
+
+_HIST_BODY = f"""
+# buildhist(): fill `bins` from `data`; a2 = sum of bin counts.
+buildhist:
+    li t0, 0
+    li t6, {_HIST_BINS}
+clearloop:
+    bge t0, t6, fill
+    slli t1, t0, 2
+    add t1, a1, t1
+    sw zero, 0(t1)
+    addi t0, t0, 1
+    j clearloop
+fill:
+    li t0, 0
+    li t6, {_HIST_N}
+    li a2, 0
+fillloop:
+    bge t0, t6, bhret
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)
+    slli t2, t2, 2
+    add t2, a1, t2
+    lw t3, 0(t2)
+    addi t3, t3, 1
+    sw t3, 0(t2)
+    addi a2, a2, 1
+    addi t0, t0, 1
+    j fillloop
+bhret:
+    ret
+"""
+
+_HIST_TAIL = f"""
+emit:
+    li t0, 0
+    li t6, {_HIST_BINS}
+    li s0, 0                 # checksum
+    li s1, 0                 # max
+statloop:
+    bge t0, t6, report
+    slli t1, t0, 2
+    add t1, a1, t1
+    lw t2, 0(t1)
+    addi t3, t0, 1
+    mul t3, t3, t2
+    add s0, s0, t3
+    ble t2, s1, statnext
+    mv s1, t2
+statnext:
+    addi t0, t0, 1
+    j statloop
+report:
+    out s0
+    out s1
+    halt
+"""
+
+_HIST_SOURCE = f"""
+    .data
+data:
+{words_directive(_HIST_DATA)}
+bins:
+    .space {_HIST_BINS}
+    .text
+main:
+    la a0, data
+    la a1, bins
+    call buildhist
+    j emit
+{_HIST_BODY}
+{_HIST_TAIL}
+"""
+
+_HIST_ABFT_SOURCE = f"""
+    .data
+data:
+{words_directive(_HIST_DATA)}
+bins:
+    .space {_HIST_BINS}
+    .text
+main:
+    la a0, data
+    la a1, bins
+    call buildhist
+    # ABFT detection: total bin population must equal the element count.
+    li t0, 0
+    li t6, {_HIST_BINS}
+    li s2, 0
+chkloop:
+    bge t0, t6, check
+    slli t1, t0, 2
+    add t1, a1, t1
+    lw t2, 0(t1)
+    add s2, s2, t2
+    addi t0, t0, 1
+    j chkloop
+check:
+    li t3, {_HIST_N}
+    assert_eq s2, t3
+    j emit
+{_HIST_BODY}
+{_HIST_TAIL}
+"""
+
+
+# --------------------------------------------------------------------------- outer_product
+_OUTER_N = 6
+_OUTER_A = [v % 20 for v in lcg_sequence(_OUTER_N, seed=251)]
+_OUTER_B = [v % 20 for v in lcg_sequence(_OUTER_N, seed=257)]
+
+
+def _outer_reference() -> list[int]:
+    out = [[a * b for b in _OUTER_B] for a in _OUTER_A]
+    total = sum(sum(row) for row in out)
+    return [total, out[0][0], out[-1][-1]]
+
+
+_OUTER_BODY = f"""
+# outer(): out[i][j] = a[i] * b[j]; a2 = sum of all products.
+outer:
+    li a2, 0
+    li t0, 0
+    li t6, {_OUTER_N}
+oi:
+    bge t0, t6, oret
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)              # a[i]
+    li t3, 0
+oj:
+    bge t3, t6, oinext
+    slli t4, t3, 2
+    add t4, a1, t4
+    lw t5, 0(t4)              # b[j]
+    mul t5, t5, t2
+    mul s2, t0, t6
+    add s2, s2, t3
+    slli s2, s2, 2
+    add s2, a4, s2
+    sw t5, 0(s2)
+    add a2, a2, t5
+    addi t3, t3, 1
+    j oj
+oinext:
+    addi t0, t0, 1
+    j oi
+oret:
+    ret
+"""
+
+_OUTER_TAIL = f"""
+emit:
+    out a2
+    lw t0, 0(a4)
+    out t0
+    li t1, {(_OUTER_N * _OUTER_N - 1) * 4}
+    add t1, a4, t1
+    lw t1, 0(t1)
+    out t1
+    halt
+"""
+
+_OUTER_SOURCE = f"""
+    .data
+veca:
+{words_directive(_OUTER_A)}
+vecb:
+{words_directive(_OUTER_B)}
+outbuf:
+    .space {_OUTER_N * _OUTER_N}
+    .text
+main:
+    la a0, veca
+    la a1, vecb
+    la a4, outbuf
+    call outer
+    j emit
+{_OUTER_BODY}
+{_OUTER_TAIL}
+"""
+
+_OUTER_ABFT_SOURCE = f"""
+    .data
+veca:
+{words_directive(_OUTER_A)}
+vecb:
+{words_directive(_OUTER_B)}
+outbuf:
+    .space {_OUTER_N * _OUTER_N}
+    .text
+main:
+    la a0, veca
+    la a1, vecb
+    la a4, outbuf
+    # ABFT detection: sum(out) must equal sum(a) * sum(b).
+    li s8, 0
+    li s9, 0
+    li t0, 0
+    li t6, {_OUTER_N}
+sumab:
+    bge t0, t6, runouter
+    slli t1, t0, 2
+    add t2, a0, t1
+    lw t2, 0(t2)
+    add s8, s8, t2
+    add t3, a1, t1
+    lw t3, 0(t3)
+    add s9, s9, t3
+    addi t0, t0, 1
+    j sumab
+runouter:
+    mul s8, s8, s9
+    call outer
+    assert_eq a2, s8
+    j emit
+{_OUTER_BODY}
+{_OUTER_TAIL}
+"""
+
+
+# --------------------------------------------------------------------------- sort
+_SORT_N = 24
+_SORT_DATA = [v % 200 for v in lcg_sequence(_SORT_N, seed=263)]
+
+
+def _sort_reference() -> list[int]:
+    data = sorted(_SORT_DATA)
+    checksum = sum(data[i] * (i + 1) for i in range(_SORT_N))
+    return [data[0], data[-1], checksum]
+
+
+_SORT_BODY = f"""
+# isort(): in-place insertion sort of `arr` ({_SORT_N} elements).
+isort:
+    li t0, 1                   # i
+isorti:
+    li t6, {_SORT_N}
+    bge t0, t6, isret
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)               # key
+    mv t3, t0                  # j
+isortj:
+    beq t3, zero, place
+    addi t4, t3, -1
+    slli t5, t4, 2
+    add t5, a0, t5
+    lw s2, 0(t5)               # arr[j-1]
+    ble s2, t2, place
+    slli s3, t3, 2
+    add s3, a0, s3
+    sw s2, 0(s3)               # arr[j] = arr[j-1]
+    mv t3, t4
+    j isortj
+place:
+    slli s3, t3, 2
+    add s3, a0, s3
+    sw t2, 0(s3)
+    addi t0, t0, 1
+    j isorti
+isret:
+    ret
+
+# checksum(): a2 = sum(arr[i] * (i+1)); a3 = sum(arr[i]).
+checksum:
+    li a2, 0
+    li a3, 0
+    li t0, 0
+    li t6, {_SORT_N}
+csloop:
+    bge t0, t6, csret
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)
+    add a3, a3, t2
+    addi t3, t0, 1
+    mul t3, t3, t2
+    add a2, a2, t3
+    addi t0, t0, 1
+    j csloop
+csret:
+    ret
+"""
+
+_SORT_TAIL = f"""
+emit:
+    lw t0, 0(a0)
+    out t0
+    li t1, {(_SORT_N - 1) * 4}
+    add t1, a0, t1
+    lw t1, 0(t1)
+    out t1
+    call checksum
+    out a2
+    halt
+"""
+
+_SORT_SOURCE = f"""
+    .data
+arr:
+{words_directive(_SORT_DATA)}
+    .text
+main:
+    la a0, arr
+    call isort
+    j emit
+{_SORT_BODY}
+{_SORT_TAIL}
+"""
+
+_SORT_ABFT_SOURCE = f"""
+    .data
+arr:
+{words_directive(_SORT_DATA)}
+    .text
+main:
+    la a0, arr
+    call checksum
+    mv s8, a3                  # element sum before sorting
+    call isort
+    call checksum
+    assert_eq a3, s8           # ABFT detection: permutation preserves the sum
+    # ABFT detection: result must be non-decreasing.
+    li t0, 1
+    li t6, {_SORT_N}
+sortedchk:
+    bge t0, t6, emit
+    slli t1, t0, 2
+    add t1, a0, t1
+    lw t2, 0(t1)
+    addi t3, t0, -1
+    slli t3, t3, 2
+    add t3, a0, t3
+    lw t4, 0(t3)
+    assert_range t4, t2        # traps unless arr[i-1] <= arr[i]
+    addi t0, t0, 1
+    j sortedchk
+{_SORT_BODY}
+{_SORT_TAIL}
+"""
+
+
+def build_perfect_workloads() -> list[Workload]:
+    """Construct the seven PERFECT-class workloads."""
+    definitions = [
+        ("2d_convolution", _CONV_SOURCE, _conv_reference, AbftSupport.CORRECTION,
+         _CONV_ABFT_SOURCE, "circular 2-D convolution of an image tile"),
+        ("debayer_filter", _DEBAYER_SOURCE, _debayer_reference, AbftSupport.CORRECTION,
+         _DEBAYER_ABFT_SOURCE, "4-neighbour demosaicing interpolation"),
+        ("inner_product", _MM_SOURCE, _mm_reference, AbftSupport.CORRECTION,
+         _MM_ABFT_SOURCE, "dense matrix product with Huang-Abraham checksums"),
+        ("fft", _FFT_SOURCE, _fft_reference, AbftSupport.DETECTION,
+         _FFT_ABFT_SOURCE, "Walsh-Hadamard transform with Parseval check"),
+        ("histogram", _HIST_SOURCE, _hist_reference, AbftSupport.DETECTION,
+         _HIST_ABFT_SOURCE, "histogram binning with population check"),
+        ("outer_product", _OUTER_SOURCE, _outer_reference, AbftSupport.DETECTION,
+         _OUTER_ABFT_SOURCE, "vector outer product with product-sum check"),
+        ("sort", _SORT_SOURCE, _sort_reference, AbftSupport.DETECTION,
+         _SORT_ABFT_SOURCE, "insertion sort with permutation and order checks"),
+    ]
+    workloads = []
+    for name, source, reference, abft, abft_source, description in definitions:
+        workloads.append(Workload(
+            name=name,
+            suite=WorkloadClass.PERFECT,
+            source=source,
+            reference=reference,
+            abft=abft,
+            abft_source=abft_source,
+            ooo_compatible=name in _OOO_COMPATIBLE,
+            description=description,
+        ))
+    return workloads

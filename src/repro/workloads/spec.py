@@ -1,0 +1,921 @@
+"""SPEC-class workloads.
+
+Eleven control/integer-heavy programs standing in for the SPECINT2000
+benchmarks the paper runs (bzip2, crafty, gzip, mcf, parser, gcc, gap,
+vortex, twolf, perlbmk, vpr).  Each program is a compact kernel that captures
+the *kind* of computation of its namesake (compression, search/evaluation,
+string matching, graph optimisation, parsing, expression evaluation,
+permutation groups, database hashing, placement, string hashing, routing)
+and emits a short output stream of checksums that is sensitive to data
+corruption anywhere in the computation.
+
+Every workload has a pure-Python reference model producing the same output
+stream, which is used both as the golden output for SDC classification and
+as a correctness oracle for the core models.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadClass, lcg_sequence, words_directive
+
+# Three of the paper's eleven SPEC benchmarks could not run on the OoO RTL
+# model (footnote 3).  We reproduce the same split so per-core benchmark
+# counts match (11 SPEC on InO, 8 on OoO).
+_NOT_ON_OOO = {"gap", "twolf", "perlbmk"}
+
+
+# --------------------------------------------------------------------------- bzip2
+_BZIP2_N = 48
+_BZIP2_DATA = [v % 4 for v in lcg_sequence(_BZIP2_N, seed=11)]
+
+
+def _bzip2_reference() -> list[int]:
+    runs = 0
+    checksum = 0
+    i = 0
+    while i < _BZIP2_N:
+        value = _BZIP2_DATA[i]
+        runlen = 1
+        while i + runlen < _BZIP2_N and _BZIP2_DATA[i + runlen] == value:
+            runlen += 1
+        runs += 1
+        checksum += value * runlen + runs
+        i += runlen
+    return [runs, checksum]
+
+
+_BZIP2_SOURCE = f"""
+    .data
+vals:
+{words_directive(_BZIP2_DATA)}
+    .text
+main:
+    la a0, vals
+    li t0, 0          # i
+    li t1, {_BZIP2_N} # N
+    li s0, 0          # runs
+    li s1, 0          # checksum
+outer:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)      # v = vals[i]
+    li t4, 1          # runlen
+inner:
+    add t5, t0, t4
+    bge t5, t1, endrun
+    slli t6, t5, 2
+    add t6, a0, t6
+    lw t6, 0(t6)
+    bne t6, t3, endrun
+    addi t4, t4, 1
+    j inner
+endrun:
+    addi s0, s0, 1
+    mul t5, t3, t4
+    add s1, s1, t5
+    add s1, s1, s0
+    add t0, t0, t4
+    j outer
+done:
+    out s0
+    out s1
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- crafty
+_CRAFTY_N = 32
+_CRAFTY_BOARD = [v % 6 for v in lcg_sequence(_CRAFTY_N, seed=23)]
+_CRAFTY_WEIGHTS = [0, 1, 3, 3, 5, 9]
+
+
+def _crafty_reference() -> list[int]:
+    material = 0
+    mobility = 0
+    for i, piece in enumerate(_CRAFTY_BOARD):
+        material += _CRAFTY_WEIGHTS[piece]
+        mobility += (i ^ piece) & 7
+    score = material * 8 + mobility
+    return [material, mobility, score]
+
+
+_CRAFTY_SOURCE = f"""
+    .data
+board:
+{words_directive(_CRAFTY_BOARD)}
+weights:
+{words_directive(_CRAFTY_WEIGHTS)}
+    .text
+main:
+    la a0, board
+    la a1, weights
+    li t0, 0           # i
+    li t1, {_CRAFTY_N}
+    li s0, 0           # material
+    li s1, 0           # mobility
+loop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)       # piece
+    slli t4, t3, 2
+    add t4, a1, t4
+    lw t4, 0(t4)       # weight
+    add s0, s0, t4
+    xor t5, t0, t3
+    andi t5, t5, 7
+    add s1, s1, t5
+    addi t0, t0, 1
+    j loop
+done:
+    out s0
+    out s1
+    slli t6, s0, 3
+    add t6, t6, s1
+    out t6
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- gzip
+_GZIP_N = 32
+_GZIP_WINDOW = 8
+_GZIP_TEXT = [v % 8 for v in lcg_sequence(_GZIP_N, seed=37)]
+
+
+def _gzip_reference() -> list[int]:
+    matches = 0
+    total = 0
+    for i in range(1, _GZIP_N):
+        best = 0
+        jstart = i - _GZIP_WINDOW if i >= _GZIP_WINDOW else 0
+        for j in range(jstart, i):
+            length = 0
+            while (i + length < _GZIP_N and length < 8
+                   and _GZIP_TEXT[j + length] == _GZIP_TEXT[i + length]):
+                length += 1
+            if length > best:
+                best = length
+        if best >= 3:
+            matches += 1
+            total += best
+    return [matches, total]
+
+
+_GZIP_SOURCE = f"""
+    .data
+text:
+{words_directive(_GZIP_TEXT)}
+    .text
+main:
+    la a0, text
+    li s0, 0            # matches
+    li s1, 0            # total
+    li t0, 1            # i
+    li t1, {_GZIP_N}    # N
+iloop:
+    bge t0, t1, done
+    li s2, 0            # best
+    addi t2, t0, -{_GZIP_WINDOW}   # jstart = i - window
+    bge t2, zero, jready
+    li t2, 0
+jready:
+jloop:
+    bge t2, t0, iend
+    li t3, 0            # len
+lenloop:
+    add t4, t0, t3
+    bge t4, t1, lendone
+    li t5, 8
+    bge t3, t5, lendone
+    add t5, t2, t3
+    slli t5, t5, 2
+    add t5, a0, t5
+    lw t5, 0(t5)        # text[j+len]
+    slli t6, t4, 2
+    add t6, a0, t6
+    lw t6, 0(t6)        # text[i+len]
+    bne t5, t6, lendone
+    addi t3, t3, 1
+    j lenloop
+lendone:
+    ble t3, s2, nextj
+    mv s2, t3
+nextj:
+    addi t2, t2, 1
+    j jloop
+iend:
+    li t4, 3
+    blt s2, t4, nexti
+    addi s0, s0, 1
+    add s1, s1, s2
+nexti:
+    addi t0, t0, 1
+    j iloop
+done:
+    out s0
+    out s1
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- mcf
+_MCF_NODES = 8
+_MCF_WEIGHTS = [v % 9 + 1 for v in lcg_sequence(16, seed=41)]
+_MCF_EDGES = ([(i, (i + 1) % _MCF_NODES, _MCF_WEIGHTS[i]) for i in range(_MCF_NODES)]
+              + [(i, (i + 3) % _MCF_NODES, _MCF_WEIGHTS[8 + i]) for i in range(_MCF_NODES)])
+_MCF_INFINITY = 9999
+
+
+def _mcf_reference() -> list[int]:
+    dist = [_MCF_INFINITY] * _MCF_NODES
+    dist[0] = 0
+    for _ in range(_MCF_NODES):
+        for u, v, w in _MCF_EDGES:
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+    return [sum(dist), dist[_MCF_NODES - 1]]
+
+
+_MCF_EDGE_WORDS = [value for edge in _MCF_EDGES for value in edge]
+_MCF_SOURCE = f"""
+    .data
+edges:
+{words_directive(_MCF_EDGE_WORDS)}
+dist:
+{words_directive([0] + [_MCF_INFINITY] * (_MCF_NODES - 1))}
+    .text
+main:
+    la a0, edges
+    la a1, dist
+    li s0, 0                 # iteration
+    li s1, {_MCF_NODES}      # node count
+iterloop:
+    bge s0, s1, sumphase
+    li t0, 0                 # edge index
+    li t1, {len(_MCF_EDGES)}
+edgeloop:
+    bge t0, t1, iternext
+    li t2, 12                # 3 words per edge: offset = e * 12
+    mul t2, t2, t0
+    add t2, a0, t2
+    lw t3, 0(t2)             # u
+    lw t4, 4(t2)             # v
+    lw t5, 8(t2)             # w
+    slli t3, t3, 2
+    add t3, a1, t3
+    lw t3, 0(t3)             # dist[u]
+    add t3, t3, t5           # dist[u] + w
+    slli t4, t4, 2
+    add t4, a1, t4           # &dist[v]
+    lw t6, 0(t4)             # dist[v]
+    bge t3, t6, norelax
+    sw t3, 0(t4)
+norelax:
+    addi t0, t0, 1
+    j edgeloop
+iternext:
+    addi s0, s0, 1
+    j iterloop
+sumphase:
+    li t0, 0
+    li s2, 0                 # sum
+loop2:
+    bge t0, s1, done
+    slli t2, t0, 2
+    add t2, a1, t2
+    lw t3, 0(t2)
+    add s2, s2, t3
+    addi t0, t0, 1
+    j loop2
+done:
+    out s2
+    slli t2, s1, 2
+    addi t2, t2, -4
+    add t2, a1, t2
+    lw t3, 0(t2)
+    out t3
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- parser
+_PARSER_N = 40
+_PARSER_TOKENS = [v % 5 for v in lcg_sequence(_PARSER_N, seed=53)]
+
+
+def _parser_reference() -> list[int]:
+    depth = 0
+    max_depth = 0
+    errors = 0
+    words = 0
+    for token in _PARSER_TOKENS:
+        if token == 0:
+            depth += 1
+            if depth > max_depth:
+                max_depth = depth
+        elif token == 1:
+            if depth == 0:
+                errors += 1
+            else:
+                depth -= 1
+        elif token == 2:
+            words += 1
+    return [max_depth, errors, words, depth]
+
+
+_PARSER_SOURCE = f"""
+    .data
+tokens:
+{words_directive(_PARSER_TOKENS)}
+    .text
+main:
+    la a0, tokens
+    li t0, 0            # i
+    li t1, {_PARSER_N}
+    li s0, 0            # depth
+    li s1, 0            # maxdepth
+    li s2, 0            # errors
+    li s3, 0            # words
+loop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)        # token
+    li t4, 0
+    bne t3, t4, notopen
+    addi s0, s0, 1
+    ble s0, s1, next
+    mv s1, s0
+    j next
+notopen:
+    li t4, 1
+    bne t3, t4, notclose
+    bne s0, zero, dec
+    addi s2, s2, 1
+    j next
+dec:
+    addi s0, s0, -1
+    j next
+notclose:
+    li t4, 2
+    bne t3, t4, next
+    addi s3, s3, 1
+next:
+    addi t0, t0, 1
+    j loop
+done:
+    out s1
+    out s2
+    out s3
+    out s0
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- gcc
+def _gcc_build_program() -> list[int]:
+    operands = [v % 50 + 1 for v in lcg_sequence(24, seed=61)]
+    sequence: list[int] = []
+    for k in range(12):
+        sequence.append(operands[2 * k])
+        sequence.append(operands[2 * k + 1])
+        sequence.append(200 + (k % 3))
+    # Reduce the 12 intermediate values to one.
+    sequence.extend([200] * 11)
+    return sequence
+
+
+_GCC_PROGRAM = _gcc_build_program()
+
+
+def _gcc_reference() -> list[int]:
+    stack: list[int] = []
+    for token in _GCC_PROGRAM:
+        if token < 200:
+            stack.append(token)
+        else:
+            b = stack.pop()
+            a = stack.pop()
+            if token == 200:
+                value = (a + b) & 0xFFFF
+            elif token == 201:
+                value = (a - b) & 0xFFFF
+            else:
+                value = (a * b) & 0xFFFF
+            stack.append(value)
+    return [stack[-1], len(stack)]
+
+
+_GCC_SOURCE = f"""
+    .data
+prog:
+{words_directive(_GCC_PROGRAM)}
+stk:
+    .space 40
+    .text
+main:
+    la a0, prog
+    la a1, stk
+    li s0, 0              # stack pointer (index)
+    li t0, 0              # i
+    li t1, {len(_GCC_PROGRAM)}
+loop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)          # token
+    li t4, 200
+    bge t3, t4, operator
+    # push operand
+    slli t5, s0, 2
+    add t5, a1, t5
+    sw t3, 0(t5)
+    addi s0, s0, 1
+    j next
+operator:
+    addi s0, s0, -1
+    slli t5, s0, 2
+    add t5, a1, t5
+    lw t6, 0(t5)          # b
+    addi s0, s0, -1
+    slli t5, s0, 2
+    add t5, a1, t5
+    lw s2, 0(t5)          # a
+    li t4, 200
+    bne t3, t4, trysub
+    add s3, s2, t6
+    j store
+trysub:
+    li t4, 201
+    bne t3, t4, trymul
+    sub s3, s2, t6
+    j store
+trymul:
+    mul s3, s2, t6
+store:
+    li t4, 0xFFFF
+    and s3, s3, t4
+    slli t5, s0, 2
+    add t5, a1, t5
+    sw s3, 0(t5)
+    addi s0, s0, 1
+next:
+    addi t0, t0, 1
+    j loop
+done:
+    addi t5, s0, -1
+    slli t5, t5, 2
+    add t5, a1, t5
+    lw t6, 0(t5)
+    out t6
+    out s0
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- gap
+_GAP_N = 16
+_GAP_PERM = [(5 * i + 3) % _GAP_N for i in range(_GAP_N)]  # a fixed permutation
+_GAP_VEC = [v % 100 for v in lcg_sequence(_GAP_N, seed=71)]
+_GAP_ITERATIONS = 5
+
+
+def _gap_reference() -> list[int]:
+    vec = list(_GAP_VEC)
+    for _ in range(_GAP_ITERATIONS):
+        vec = [vec[_GAP_PERM[i]] for i in range(_GAP_N)]
+    checksum = sum(vec[i] * (i + 1) for i in range(_GAP_N))
+    return [checksum, vec[0]]
+
+
+_GAP_SOURCE = f"""
+    .data
+perm:
+{words_directive(_GAP_PERM)}
+vec:
+{words_directive(_GAP_VEC)}
+tmp:
+    .space {_GAP_N}
+    .text
+main:
+    la a0, perm
+    la a1, vec
+    la a2, tmp
+    li s0, 0                 # iteration
+    li s1, {_GAP_ITERATIONS}
+iterloop:
+    bge s0, s1, checksum
+    li t0, 0
+    li t1, {_GAP_N}
+permloop:
+    bge t0, t1, copyback
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)             # perm[i]
+    slli t3, t3, 2
+    add t3, a1, t3
+    lw t4, 0(t3)             # vec[perm[i]]
+    slli t5, t0, 2
+    add t5, a2, t5
+    sw t4, 0(t5)             # tmp[i] = ...
+    addi t0, t0, 1
+    j permloop
+copyback:
+    li t0, 0
+cploop:
+    bge t0, t1, iternext
+    slli t2, t0, 2
+    add t3, a2, t2
+    lw t4, 0(t3)
+    add t5, a1, t2
+    sw t4, 0(t5)
+    addi t0, t0, 1
+    j cploop
+iternext:
+    addi s0, s0, 1
+    j iterloop
+checksum:
+    li t0, 0
+    li t1, {_GAP_N}
+    li s2, 0
+csloop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a1, t2
+    lw t3, 0(t2)
+    addi t4, t0, 1
+    mul t3, t3, t4
+    add s2, s2, t3
+    addi t0, t0, 1
+    j csloop
+done:
+    out s2
+    lw t3, 0(a1)
+    out t3
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- vortex
+_VORTEX_KEYS = [v % 199 + 1 for v in lcg_sequence(24, seed=83)]
+_VORTEX_TABLE_SIZE = 32
+
+
+def _vortex_reference() -> list[int]:
+    table = [0] * _VORTEX_TABLE_SIZE
+    collisions = 0
+    probes = 0
+    for key in _VORTEX_KEYS:
+        slot = (key * 7) % _VORTEX_TABLE_SIZE
+        while table[slot] != 0:
+            slot = (slot + 1) % _VORTEX_TABLE_SIZE
+            collisions += 1
+        table[slot] = key
+    for key in _VORTEX_KEYS:
+        slot = (key * 7) % _VORTEX_TABLE_SIZE
+        while table[slot] != key:
+            slot = (slot + 1) % _VORTEX_TABLE_SIZE
+            probes += 1
+    return [collisions, probes]
+
+
+_VORTEX_SOURCE = f"""
+    .data
+keys:
+{words_directive(_VORTEX_KEYS)}
+table:
+    .space {_VORTEX_TABLE_SIZE}
+    .text
+main:
+    la a0, keys
+    la a1, table
+    li s0, 0                # collisions
+    li s1, 0                # probes
+    li t0, 0                # i
+    li t1, {len(_VORTEX_KEYS)}
+insloop:
+    bge t0, t1, lookup
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)            # key
+    li t4, 7
+    mul t4, t3, t4
+    li t5, {_VORTEX_TABLE_SIZE - 1}
+    and t4, t4, t5          # slot
+probeins:
+    slli t6, t4, 2
+    add t6, a1, t6
+    lw s2, 0(t6)
+    beq s2, zero, doins
+    addi t4, t4, 1
+    and t4, t4, t5
+    addi s0, s0, 1
+    j probeins
+doins:
+    sw t3, 0(t6)
+    addi t0, t0, 1
+    j insloop
+lookup:
+    li t0, 0
+lkloop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)            # key
+    li t4, 7
+    mul t4, t3, t4
+    li t5, {_VORTEX_TABLE_SIZE - 1}
+    and t4, t4, t5
+probelk:
+    slli t6, t4, 2
+    add t6, a1, t6
+    lw s2, 0(t6)
+    beq s2, t3, foundlk
+    addi t4, t4, 1
+    and t4, t4, t5
+    addi s1, s1, 1
+    j probelk
+foundlk:
+    addi t0, t0, 1
+    j lkloop
+done:
+    out s0
+    out s1
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- twolf
+_TWOLF_CELLS = 16
+_TWOLF_POS = [v % 64 for v in lcg_sequence(_TWOLF_CELLS, seed=97)]
+_TWOLF_NETS = [(v % _TWOLF_CELLS, (v * 7 + 3) % _TWOLF_CELLS)
+               for v in lcg_sequence(12, seed=101)]
+
+
+def _twolf_cost(pos: list[int]) -> int:
+    return sum(abs(pos[a] - pos[b]) for a, b in _TWOLF_NETS)
+
+
+def _twolf_reference() -> list[int]:
+    pos = list(_TWOLF_POS)
+    initial = _twolf_cost(pos)
+    cost = initial
+    for k in range(_TWOLF_CELLS - 1):
+        pos[k], pos[k + 1] = pos[k + 1], pos[k]
+        new_cost = _twolf_cost(pos)
+        if new_cost < cost:
+            cost = new_cost
+        else:
+            pos[k], pos[k + 1] = pos[k + 1], pos[k]
+    return [initial, cost]
+
+
+_TWOLF_NET_WORDS = [value for net in _TWOLF_NETS for value in net]
+_TWOLF_SOURCE = f"""
+    .data
+pos:
+{words_directive(_TWOLF_POS)}
+nets:
+{words_directive(_TWOLF_NET_WORDS)}
+    .text
+main:
+    la a0, pos
+    la a1, nets
+    call cost
+    mv s4, a2               # initial cost
+    mv s5, a2               # best cost
+    li s6, 0                 # k
+    li s7, {_TWOLF_CELLS - 1}
+swaploop:
+    bge s6, s7, finish
+    # swap pos[k], pos[k+1]
+    slli t0, s6, 2
+    add t0, a0, t0
+    lw t1, 0(t0)
+    lw t2, 4(t0)
+    sw t2, 0(t0)
+    sw t1, 4(t0)
+    call cost
+    bge a2, s5, revert
+    mv s5, a2
+    j nextk
+revert:
+    slli t0, s6, 2
+    add t0, a0, t0
+    lw t1, 0(t0)
+    lw t2, 4(t0)
+    sw t2, 0(t0)
+    sw t1, 4(t0)
+nextk:
+    addi s6, s6, 1
+    j swaploop
+finish:
+    out s4
+    out s5
+    halt
+
+# cost(): a2 = sum over nets of |pos[a]-pos[b]|  (clobbers t0..t6)
+cost:
+    li a2, 0
+    li t0, 0
+    li t1, {len(_TWOLF_NETS)}
+costloop:
+    bge t0, t1, costdone
+    slli t2, t0, 3           # 8 bytes per net
+    add t2, a1, t2
+    lw t3, 0(t2)             # a
+    lw t4, 4(t2)             # b
+    slli t3, t3, 2
+    add t3, a0, t3
+    lw t3, 0(t3)             # pos[a]
+    slli t4, t4, 2
+    add t4, a0, t4
+    lw t4, 0(t4)             # pos[b]
+    sub t5, t3, t4
+    bge t5, zero, posd
+    sub t5, t4, t3
+posd:
+    add a2, a2, t5
+    addi t0, t0, 1
+    j costloop
+costdone:
+    ret
+"""
+
+
+# --------------------------------------------------------------------------- perlbmk
+_PERL_N = 48
+_PERL_TEXT = [v % 26 for v in lcg_sequence(_PERL_N, seed=113)]
+_PERL_VOWELS = (0, 4, 8, 14, 20)
+
+
+def _perlbmk_reference() -> list[int]:
+    digest = 0
+    vowels = 0
+    for c in _PERL_TEXT:
+        digest = (digest * 31 + c) & 0xFFFFFF
+        if c in _PERL_VOWELS:
+            vowels += 1
+    return [digest, vowels]
+
+
+_PERL_SOURCE = f"""
+    .data
+text:
+{words_directive(_PERL_TEXT)}
+    .text
+main:
+    la a0, text
+    li t0, 0            # i
+    li t1, {_PERL_N}
+    li s0, 0            # hash
+    li s1, 0            # vowels
+loop:
+    bge t0, t1, done
+    slli t2, t0, 2
+    add t2, a0, t2
+    lw t3, 0(t2)        # c
+    li t4, 31
+    mul s0, s0, t4
+    add s0, s0, t3
+    li t4, 0xFFFFFF
+    and s0, s0, t4
+    li t4, 0
+    beq t3, t4, vowel
+    li t4, 4
+    beq t3, t4, vowel
+    li t4, 8
+    beq t3, t4, vowel
+    li t4, 14
+    beq t3, t4, vowel
+    li t4, 20
+    beq t3, t4, vowel
+    j next
+vowel:
+    addi s1, s1, 1
+next:
+    addi t0, t0, 1
+    j loop
+done:
+    out s0
+    out s1
+    halt
+"""
+
+
+# --------------------------------------------------------------------------- vpr
+_VPR_CELLS = 16
+_VPR_X = [v % 32 for v in lcg_sequence(_VPR_CELLS, seed=127)]
+_VPR_Y = [v % 32 for v in lcg_sequence(_VPR_CELLS, seed=131)]
+_VPR_NETS = [(v % _VPR_CELLS, (v * 5 + 1) % _VPR_CELLS)
+             for v in lcg_sequence(12, seed=137)]
+
+
+def _vpr_reference() -> list[int]:
+    total = 0
+    longest = 0
+    for a, b in _VPR_NETS:
+        distance = abs(_VPR_X[a] - _VPR_X[b]) + abs(_VPR_Y[a] - _VPR_Y[b])
+        total += distance
+        if distance > longest:
+            longest = distance
+    return [total, longest]
+
+
+_VPR_NET_WORDS = [value for net in _VPR_NETS for value in net]
+_VPR_SOURCE = f"""
+    .data
+xs:
+{words_directive(_VPR_X)}
+ys:
+{words_directive(_VPR_Y)}
+nets:
+{words_directive(_VPR_NET_WORDS)}
+    .text
+main:
+    la a0, xs
+    la a1, ys
+    la a3, nets
+    li s0, 0             # total
+    li s1, 0             # longest
+    li t0, 0             # net index
+    li t1, {len(_VPR_NETS)}
+loop:
+    bge t0, t1, done
+    slli t2, t0, 3
+    add t2, a3, t2
+    lw t3, 0(t2)         # a
+    lw t4, 4(t2)         # b
+    slli t5, t3, 2
+    add t5, a0, t5
+    lw t5, 0(t5)         # x[a]
+    slli t6, t4, 2
+    add t6, a0, t6
+    lw t6, 0(t6)         # x[b]
+    sub s2, t5, t6
+    bge s2, zero, xd
+    sub s2, t6, t5
+xd:
+    slli t5, t3, 2
+    add t5, a1, t5
+    lw t5, 0(t5)         # y[a]
+    slli t6, t4, 2
+    add t6, a1, t6
+    lw t6, 0(t6)         # y[b]
+    sub s3, t5, t6
+    bge s3, zero, yd
+    sub s3, t6, t5
+yd:
+    add s2, s2, s3       # manhattan distance
+    add s0, s0, s2
+    ble s2, s1, next
+    mv s1, s2
+next:
+    addi t0, t0, 1
+    j loop
+done:
+    out s0
+    out s1
+    halt
+"""
+
+
+def build_spec_workloads() -> list[Workload]:
+    """Construct the eleven SPEC-class workloads."""
+    definitions = [
+        ("bzip2", _BZIP2_SOURCE, _bzip2_reference,
+         "run-length compression of a byte stream"),
+        ("crafty", _CRAFTY_SOURCE, _crafty_reference,
+         "board material and mobility evaluation"),
+        ("gzip", _GZIP_SOURCE, _gzip_reference,
+         "sliding-window longest-match search"),
+        ("mcf", _MCF_SOURCE, _mcf_reference,
+         "Bellman-Ford relaxation over a flow network"),
+        ("parser", _PARSER_SOURCE, _parser_reference,
+         "token stream parsing with nesting checks"),
+        ("gcc", _GCC_SOURCE, _gcc_reference,
+         "postfix expression evaluation with an operand stack"),
+        ("gap", _GAP_SOURCE, _gap_reference,
+         "repeated permutation application (group operation)"),
+        ("vortex", _VORTEX_SOURCE, _vortex_reference,
+         "hash-table build and probe (database index)"),
+        ("twolf", _TWOLF_SOURCE, _twolf_reference,
+         "placement cost optimisation by local swaps"),
+        ("perlbmk", _PERL_SOURCE, _perlbmk_reference,
+         "string hashing and character classification"),
+        ("vpr", _VPR_SOURCE, _vpr_reference,
+         "Manhattan wirelength estimation for routing"),
+    ]
+    workloads = []
+    for name, source, reference, description in definitions:
+        workloads.append(Workload(
+            name=name,
+            suite=WorkloadClass.SPEC,
+            source=source,
+            reference=reference,
+            ooo_compatible=name not in _NOT_ON_OOO,
+            description=description,
+        ))
+    return workloads

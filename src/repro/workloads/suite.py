@@ -1,0 +1,67 @@
+"""The benchmark suite used for reliability analysis.
+
+Provides registry-style access to the 18 workloads (11 SPEC-class + 7
+PERFECT-class) and the per-core sub-suites matching the paper's footnote 3
+(the OoO RTL model could only run 8 SPEC + 3 PERFECT benchmarks).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.base import AbftSupport, Workload, WorkloadClass
+from repro.workloads.perfect import build_perfect_workloads
+from repro.workloads.spec import build_spec_workloads
+
+
+@lru_cache(maxsize=1)
+def _all_workloads() -> tuple[Workload, ...]:
+    return tuple(build_spec_workloads() + build_perfect_workloads())
+
+
+def full_suite() -> list[Workload]:
+    """All 18 workloads in suite order (SPEC first, PERFECT second)."""
+    return list(_all_workloads())
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look a workload up by name.
+
+    Raises:
+        KeyError: if no workload with that name exists.
+    """
+    for workload in _all_workloads():
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload: {name!r}")
+
+
+def spec_suite() -> list[Workload]:
+    """The eleven SPEC-class workloads."""
+    return [w for w in _all_workloads() if w.suite is WorkloadClass.SPEC]
+
+
+def perfect_suite() -> list[Workload]:
+    """The seven PERFECT-class workloads."""
+    return [w for w in _all_workloads() if w.suite is WorkloadClass.PERFECT]
+
+
+def suite_for_core(core_name: str) -> list[Workload]:
+    """Workloads runnable on a given core.
+
+    The in-order core runs the full suite; the out-of-order core runs the
+    reduced 8 SPEC + 3 PERFECT subset, as in the paper.
+    """
+    if "ooo" in core_name.lower() or "out" in core_name.lower():
+        return [w for w in _all_workloads() if w.ooo_compatible]
+    return list(_all_workloads())
+
+
+def abft_correction_suite() -> list[Workload]:
+    """Workloads whose algorithm admits ABFT correction."""
+    return [w for w in _all_workloads() if w.abft is AbftSupport.CORRECTION]
+
+
+def abft_detection_suite() -> list[Workload]:
+    """Workloads whose algorithm admits ABFT detection (but not correction)."""
+    return [w for w in _all_workloads() if w.abft is AbftSupport.DETECTION]

@@ -1,0 +1,45 @@
+"""Shared pytest fixtures.
+
+Session-scoped fixtures hold the expensive objects (core models, calibrated
+frameworks) so the suite stays fast; tests must not mutate them beyond
+running programs (cores reset themselves on every run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClearFramework
+from repro.microarch import InOrderCore, OutOfOrderCore
+from repro.workloads import full_suite, workload_by_name
+
+
+@pytest.fixture(scope="session")
+def ino_core() -> InOrderCore:
+    return InOrderCore()
+
+
+@pytest.fixture(scope="session")
+def ooo_core() -> OutOfOrderCore:
+    return OutOfOrderCore()
+
+
+@pytest.fixture(scope="session")
+def ino_framework() -> ClearFramework:
+    return ClearFramework.for_inorder_core(seed=7)
+
+
+@pytest.fixture(scope="session")
+def ooo_framework() -> ClearFramework:
+    return ClearFramework.for_out_of_order_core(seed=7)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return full_suite()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A short-running workload used by injection-heavy tests."""
+    return workload_by_name("vpr")

@@ -1,0 +1,85 @@
+"""Tests for the benchmark-dependence analysis (Sec. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BenchmarkDependenceStudy,
+    make_splits,
+    paired_p_value,
+    subset_similarity,
+)
+from repro.physical import DesignCostModel, RecoveryKind
+from repro.resilience import dfc_descriptor
+
+
+class TestSplits:
+    def test_split_sizes_and_disjointness(self, ino_framework):
+        benchmarks = ino_framework.benchmark_names()
+        splits = make_splits(benchmarks, training_size=4, count=50, seed=1)
+        assert len(splits) == 50
+        for split in splits:
+            assert len(split.training) == 4
+            assert set(split.training).isdisjoint(split.validation)
+            assert set(split.training) | set(split.validation) == set(benchmarks)
+
+    def test_deterministic(self):
+        names = [f"b{i}" for i in range(10)]
+        assert make_splits(names, seed=2) == make_splits(names, seed=2)
+
+
+class TestPValue:
+    def test_identical_distributions_high_p(self):
+        assert paired_p_value([0.0, 0.0, 0.0, 0.0]) == 1.0
+
+    def test_consistent_shift_low_p(self):
+        assert paired_p_value([1.0, 1.1, 0.9, 1.05, 0.95] * 4) < 0.01
+
+    def test_short_input(self):
+        assert paired_p_value([1.0]) == 1.0
+
+
+class TestSimilarity:
+    def test_table27_shape(self, ino_framework):
+        similarities = subset_similarity(ino_framework.vulnerability)
+        assert len(similarities) == 10
+        # Top decile and the always-vanish tail are consistent across
+        # benchmarks; the middle deciles are benchmark-specific (Table 27).
+        assert similarities[0] > 0.3
+        assert max(similarities[2:6]) < 0.2
+        assert similarities[-1] > 0.7
+        assert all(0.0 <= s <= 1.0 for s in similarities)
+
+
+class TestDependenceStudy:
+    @pytest.fixture(scope="class")
+    def study(self, ino_framework):
+        return BenchmarkDependenceStudy(ino_framework.core.registry,
+                                        ino_framework.vulnerability,
+                                        ino_framework.timing)
+
+    def test_selective_training_generalises_roughly(self, study, ino_framework):
+        splits = make_splits(ino_framework.benchmark_names(), count=3, seed=4)
+        result, _ = study.evaluate_selective(10.0, splits[0])
+        assert result.trained_sdc >= 10.0
+        assert result.validated_sdc > 1.0
+
+    def test_lhl_augmentation_raises_validated_improvement(self, study, ino_framework):
+        cost_model = DesignCostModel(ino_framework.core.name,
+                                     ino_framework.core.flip_flop_count)
+        split = make_splits(ino_framework.benchmark_names(), count=1, seed=5)[0]
+        plain, plain_cost = study.evaluate_selective(20.0, split, cost_model=cost_model)
+        augmented, augmented_cost = study.evaluate_selective(20.0, split, with_lhl=True,
+                                                             cost_model=cost_model)
+        assert augmented.validated_sdc > plain.validated_sdc
+        assert augmented_cost.energy_pct > plain_cost.energy_pct
+
+    def test_high_level_train_validate(self, study, ino_framework):
+        splits = make_splits(ino_framework.benchmark_names(), count=5, seed=6)
+        result = study.evaluate_high_level(dfc_descriptor(), splits)
+        # DFC alone provides only a marginal improvement (Table 3 reports
+        # 1.2x with the gamma correction folded in; our estimate lands in the
+        # same "barely helps" regime).
+        assert 0.8 < result.trained_sdc < 2.0
+        assert abs(result.sdc_underestimate_pct) < 30.0

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faultinjection import OutcomeCategory, OutcomeCounts, margin_of_error
+from repro.isa import Instruction, Opcode, OPCODE_INFO, decode_instruction, encode_instruction
+from repro.isa.instructions import InstructionFormat
+from repro.microarch.execute import execute_operation, to_signed, to_unsigned
+from repro.microarch.flipflop import FlipFlopRegistry
+from repro.microarch.state import LatchState
+from repro.physical.costmodel import CostReport
+
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_REG = st.integers(min_value=0, max_value=31)
+_IMM = st.integers(min_value=-(1 << 14), max_value=(1 << 14) - 1)
+
+
+@st.composite
+def instructions(draw):
+    opcode = draw(st.sampled_from(sorted(Opcode, key=int)))
+    info = OPCODE_INFO[opcode]
+    if info.fmt is InstructionFormat.R:
+        return Instruction(opcode, rd=draw(_REG), rs1=draw(_REG), rs2=draw(_REG))
+    if info.fmt is InstructionFormat.B:
+        return Instruction(opcode, rs1=draw(_REG), rs2=draw(_REG), imm=draw(_IMM))
+    return Instruction(opcode, rd=draw(_REG), rs1=draw(_REG), imm=draw(_IMM))
+
+
+class TestEncodingProperties:
+    @given(instructions())
+    @settings(max_examples=300)
+    def test_encode_decode_round_trip(self, instruction):
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    @given(instructions())
+    def test_encoding_fits_32_bits(self, instruction):
+        assert 0 <= encode_instruction(instruction) < (1 << 32)
+
+
+class TestArithmeticProperties:
+    @given(_WORD, _WORD)
+    def test_add_matches_python_semantics(self, a, b):
+        result = execute_operation(Opcode.ADD, a, b, 0, 0)
+        assert result.value == (a + b) & 0xFFFFFFFF
+
+    @given(_WORD, _WORD)
+    def test_sub_then_add_round_trips(self, a, b):
+        difference = execute_operation(Opcode.SUB, a, b, 0, 0).value
+        restored = execute_operation(Opcode.ADD, difference, b, 0, 0).value
+        assert restored == a
+
+    @given(_WORD, _WORD)
+    def test_xor_is_involution(self, a, b):
+        once = execute_operation(Opcode.XOR, a, b, 0, 0).value
+        twice = execute_operation(Opcode.XOR, once, b, 0, 0).value
+        assert twice == a
+
+    @given(_WORD)
+    def test_signed_unsigned_round_trip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(_WORD, _WORD)
+    def test_sltu_consistent_with_comparison(self, a, b):
+        assert execute_operation(Opcode.SLTU, a, b, 0, 0).value == int(a < b)
+
+    @given(_WORD, _WORD, _IMM)
+    def test_branch_taken_iff_predicate(self, a, b, offset):
+        beq = execute_operation(Opcode.BEQ, a, b, offset, 0)
+        bne = execute_operation(Opcode.BNE, a, b, offset, 0)
+        assert beq.branch_taken == (a == b)
+        assert beq.branch_taken != bne.branch_taken
+
+
+class TestLatchStateProperties:
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=2**64 - 1),
+           st.data())
+    def test_double_flip_is_identity(self, width, value, data):
+        registry = FlipFlopRegistry("prop")
+        registry.register("field", width, "u")
+        registry.freeze()
+        latches = LatchState(registry)
+        latches.set("field", value)
+        original = latches.get("field")
+        bit = data.draw(st.integers(min_value=0, max_value=width - 1))
+        latches.flip_bit("field", bit)
+        assert latches.get("field") != original
+        latches.flip_bit("field", bit)
+        assert latches.get("field") == original
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=2**70))
+    def test_set_masks_to_width(self, width, value):
+        registry = FlipFlopRegistry("prop")
+        registry.register("field", width, "u")
+        registry.freeze()
+        latches = LatchState(registry)
+        latches.set("field", value)
+        assert latches.get("field") < (1 << width)
+
+
+class TestOutcomeCountProperties:
+    @given(st.lists(st.sampled_from(list(OutcomeCategory)), max_size=200))
+    def test_totals_are_consistent(self, outcomes):
+        counts = OutcomeCounts()
+        for outcome in outcomes:
+            counts.record(outcome)
+        assert counts.total == len(outcomes)
+        assert counts.sdc_count + counts.due_count <= counts.total
+        assert counts.vanished_count == outcomes.count(OutcomeCategory.VANISHED)
+
+    @given(st.integers(min_value=1, max_value=10**7),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_margin_of_error_bounds(self, samples, proportion):
+        margin = margin_of_error(samples, proportion)
+        assert 0.0 <= margin <= 1.0
+
+
+class TestCostReportProperties:
+    @given(st.floats(min_value=0, max_value=50), st.floats(min_value=0, max_value=50),
+           st.floats(min_value=0, max_value=50), st.floats(min_value=0, max_value=50))
+    def test_combination_is_commutative(self, a_area, a_power, b_area, b_power):
+        a = CostReport.from_power_and_time(a_area, a_power, 0.0)
+        b = CostReport.from_power_and_time(b_area, b_power, 0.0)
+        ab = a.combined_with(b)
+        ba = b.combined_with(a)
+        assert ab.area_pct == ba.area_pct
+        assert abs(ab.energy_pct - ba.energy_pct) < 1e-9
+
+    @given(st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+    def test_energy_at_least_power_when_time_grows(self, power, time):
+        report = CostReport.from_power_and_time(0.0, power, time)
+        assert report.energy_pct >= report.power_pct - 1e-9

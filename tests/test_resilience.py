@@ -1,0 +1,227 @@
+"""Tests for the resilience library and protected-design configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultinjection import FlipFlopInjector, Injection, OutcomeCategory
+from repro.microarch import InOrderCore
+from repro.physical import CellType, DesignCostModel, RecoveryKind, TimingModel
+from repro.resilience import (
+    ABFT_FF_COVERAGE,
+    HardeningPlan,
+    ParityHeuristic,
+    ParityPlanner,
+    ProtectedDesign,
+    TABLE3_PUBLISHED,
+    abft_correction_descriptor,
+    abft_covered_flip_flops,
+    abft_detection_descriptor,
+    assertions_descriptor,
+    cfcss_descriptor,
+    dfc_descriptor,
+    dual_mode_plan,
+    eddi_descriptor,
+    harden_remaining_with_lhl,
+    harden_top_flip_flops,
+    high_level_techniques,
+    measure_abft_impact,
+    monitor_core_descriptor,
+    monitor_core_throughput_sufficient,
+)
+from repro.resilience.base import Layer, core_family
+from repro.workloads import workload_by_name
+
+
+class TestDescriptors:
+    def test_layers(self):
+        assert dfc_descriptor().layer is Layer.ARCHITECTURE
+        assert cfcss_descriptor().layer is Layer.SOFTWARE
+        assert abft_correction_descriptor().layer is Layer.ALGORITHM
+
+    def test_monitor_core_only_costed_for_ooo(self):
+        descriptor = monitor_core_descriptor()
+        assert descriptor.costs("OoO").power_pct == pytest.approx(16.3)
+        assert descriptor.costs("InO").power_pct == 0.0
+
+    def test_high_level_library_per_family(self):
+        ino = {t.name for t in high_level_techniques("InO")}
+        ooo = {t.name for t in high_level_techniques("OoO")}
+        assert "eddi" in ino and "eddi" not in ooo
+        assert "monitor-core" in ooo and "monitor-core" not in ino
+
+    def test_gamma_values_match_paper(self):
+        assert dfc_descriptor().gamma("InO").factor == pytest.approx(1.27, rel=0.02)
+        assert cfcss_descriptor().gamma("InO").factor == pytest.approx(1.41, rel=0.01)
+        assert eddi_descriptor().gamma("InO").factor == pytest.approx(2.1, rel=0.01)
+        assert monitor_core_descriptor().gamma("OoO").factor == pytest.approx(1.38, rel=0.01)
+
+    def test_eddi_store_readback_improves_coverage(self):
+        with_readback = eddi_descriptor(store_readback=True)
+        without = eddi_descriptor(store_readback=False)
+        assert (with_readback.coverage.overall_sdc_detection
+                > without.coverage.overall_sdc_detection)
+
+    def test_monitor_throughput_check(self):
+        assert monitor_core_throughput_sufficient(600.0, 1.3)
+        assert not monitor_core_throughput_sufficient(3000.0, 2.0)
+
+    def test_published_table3_reference_data_present(self):
+        assert ("leap-dice", "InO") in TABLE3_PUBLISHED
+        assert TABLE3_PUBLISHED[("eddi", "InO")]["sdc"] == pytest.approx(37.8)
+
+    def test_core_family_resolution(self):
+        assert core_family("InO-core") == "InO"
+        assert core_family("OoO-core") == "OoO"
+
+
+class TestHardeningPlans:
+    def test_top_k_hardening(self):
+        plan = harden_top_flip_flops([5, 3, 9, 1], 2)
+        assert plan.cell_for(5) is CellType.LEAP_DICE
+        assert plan.cell_for(9) is CellType.BASELINE
+        assert plan.protected_count() == 2
+        assert plan.suppression_for(5) > 0.999
+
+    def test_lhl_augmentation_covers_everything(self):
+        plan = harden_top_flip_flops([0, 1], 2)
+        harden_remaining_with_lhl(plan, range(6))
+        assert plan.protected_count() == 6
+        assert plan.cell_for(5) is CellType.LHL
+
+    def test_dual_mode_plan_swaps_abft_covered_cells(self):
+        base = harden_top_flip_flops([0, 1, 2], 3).assignments
+        plan = dual_mode_plan({1, 2}, base)
+        assert plan.cell_for(0) is CellType.LEAP_DICE
+        assert plan.cell_for(1) is CellType.LEAP_CTRL_RESILIENT
+
+
+class TestParityPlanner:
+    @pytest.fixture(scope="class")
+    def planner(self, ino_core, ino_framework):
+        timing = TimingModel(ino_core.registry, seed=1)
+        return ParityPlanner(ino_core.registry, timing, ino_framework.vulnerability)
+
+    def test_all_heuristics_cover_all_members(self, planner, ino_core):
+        flip_flops = list(range(ino_core.flip_flop_count))
+        for heuristic in ParityHeuristic:
+            groups = planner.build_groups(flip_flops, heuristic, group_size=16)
+            covered = sorted(m for g in groups for m in g.members)
+            assert covered == flip_flops
+
+    def test_locality_groups_are_single_unit(self, planner, ino_core):
+        groups = planner.build_groups(list(range(ino_core.flip_flop_count)),
+                                      ParityHeuristic.LOCALITY, group_size=16)
+        registry = ino_core.registry
+        for group in groups:
+            units = {registry.site(m).structure.unit for m in group.members}
+            assert len(units) == 1
+            assert group.local
+
+    def test_optimized_is_cheapest(self, planner, ino_core):
+        cost_model = DesignCostModel(ino_core.name, ino_core.flip_flop_count)
+        rows = planner.compare_heuristics(list(range(ino_core.flip_flop_count)), cost_model)
+        optimized = rows["optimized"]["energy_pct"]
+        assert optimized <= min(row["energy_pct"] for label, row in rows.items()
+                                if label != "optimized") * 1.01
+
+    def test_added_flip_flops_counted(self, planner):
+        groups = planner.build_groups(list(range(64)), ParityHeuristic.GROUP_SIZE,
+                                      group_size=16)
+        assert planner.added_flip_flops(groups) >= len(groups)
+
+
+class TestAbft:
+    def test_ff_coverage_fractions(self, ino_core):
+        covered = abft_covered_flip_flops(ino_core.registry, ino_core.name)
+        expected = ABFT_FF_COVERAGE["InO"]["union"] * ino_core.flip_flop_count
+        assert len(covered) == pytest.approx(expected, rel=0.05)
+
+    def test_measured_abft_impact_positive_and_small(self, ino_core):
+        measurement = measure_abft_impact(ino_core, workload_by_name("inner_product"))
+        assert 0.0 < measurement.exec_time_impact_pct < 60.0
+
+    def test_measure_abft_requires_support(self, ino_core):
+        with pytest.raises(ValueError):
+            measure_abft_impact(ino_core, workload_by_name("bzip2"))
+
+
+class TestProtectedDesign:
+    def test_gamma_composition(self, ino_core):
+        design = ProtectedDesign(registry=ino_core.registry,
+                                 high_level=[cfcss_descriptor()])
+        assert design.gamma() == pytest.approx(1.41, rel=0.02)
+        with_recovery = ProtectedDesign(registry=ino_core.registry,
+                                        recovery=RecoveryKind.IR)
+        assert with_recovery.gamma() > 1.2
+
+    def test_cost_includes_all_components(self, ino_core):
+        cost_model = DesignCostModel(ino_core.name, ino_core.flip_flop_count)
+        plan = harden_top_flip_flops(list(range(100)), 100)
+        design = ProtectedDesign(registry=ino_core.registry, hardening=plan,
+                                 recovery=RecoveryKind.FLUSH,
+                                 high_level=[abft_correction_descriptor()])
+        report = design.cost(cost_model)
+        assert report.area_pct > 0 and report.energy_pct > report.power_pct * 0.99
+        assert report.exec_time_pct == pytest.approx(1.4)
+
+    def test_improvement_estimation_increases_with_protection(self, ino_framework):
+        registry = ino_framework.core.registry
+        vulnerability = ino_framework.vulnerability
+        ranked = vulnerability.ranked_by_vulnerability()
+        small = ProtectedDesign(registry=registry,
+                                hardening=harden_top_flip_flops(ranked, 50))
+        large = ProtectedDesign(registry=registry,
+                                hardening=harden_top_flip_flops(ranked, 400))
+        small_estimate = small.estimate_improvement(vulnerability)
+        large_estimate = large.estimate_improvement(vulnerability)
+        assert large_estimate.sdc_improvement > small_estimate.sdc_improvement > 1.0
+
+    def test_detection_without_recovery_degrades_due(self, ino_framework):
+        registry = ino_framework.core.registry
+        vulnerability = ino_framework.vulnerability
+        timing = ino_framework.timing
+        planner = ParityPlanner(registry, timing, vulnerability)
+        groups = planner.build_groups(list(range(registry.total_flip_flops)),
+                                      ParityHeuristic.OPTIMIZED)
+        unprotected_due = ProtectedDesign(registry=registry).estimate_improvement(
+            vulnerability).due_improvement
+        detect_only = ProtectedDesign(registry=registry, parity_groups=groups)
+        estimate = detect_only.estimate_improvement(vulnerability)
+        assert estimate.sdc_improvement > 100  # every SDC detected
+        assert estimate.due_improvement < unprotected_due  # DUEs increase
+
+    def test_site_protection_semantics_with_injector(self, ino_framework, small_workload):
+        registry = ino_framework.core.registry
+        ranked = ino_framework.vulnerability.ranked_by_vulnerability()
+        plan = harden_top_flip_flops(ranked, registry.total_flip_flops)
+        design = ProtectedDesign(registry=registry, hardening=plan)
+        core = InOrderCore()
+        injector = FlipFlopInjector(core, protection=design, seed=2)
+        program = small_workload.program()
+        golden = injector.golden_run(program)
+        outcomes = [injector.run_with_injection(
+            program, Injection(flat_index=ranked[i], cycle=golden.cycles // 2), golden)[1]
+            for i in range(0, 200, 20)]
+        assert all(outcome is OutcomeCategory.VANISHED for outcome in outcomes)
+
+    def test_technique_names_listing(self, ino_core):
+        design = ProtectedDesign(registry=ino_core.registry,
+                                 hardening=harden_top_flip_flops([0, 1], 2),
+                                 recovery=RecoveryKind.FLUSH,
+                                 high_level=[assertions_descriptor()])
+        names = design.technique_names()
+        assert "assertions" in names and "flush" in names and "leap-dice" in names
+
+    def test_recovery_coverage_boundaries(self, ino_core):
+        design = ProtectedDesign(registry=ino_core.registry, recovery=RecoveryKind.FLUSH)
+        writeback_site = next(s.first_index for s in ino_core.registry.structures
+                              if s.unit == "writeback")
+        fetch_site = next(s.first_index for s in ino_core.registry.structures
+                          if s.unit == "fetch")
+        assert not design.recovery_covers(writeback_site)
+        assert design.recovery_covers(fetch_site)
+
+    def test_abft_detection_descriptor_detection_only(self):
+        assert abft_detection_descriptor().detection_only
+        assert not abft_correction_descriptor().detection_only

@@ -1,0 +1,90 @@
+"""Tests for the benchmark workload suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microarch import TerminationReason
+from repro.workloads import (
+    AbftSupport,
+    WorkloadClass,
+    abft_correction_suite,
+    abft_detection_suite,
+    full_suite,
+    lcg_sequence,
+    perfect_suite,
+    spec_suite,
+    suite_for_core,
+    workload_by_name,
+)
+
+
+class TestSuiteComposition:
+    def test_full_suite_size(self, suite):
+        assert len(suite) == 18
+
+    def test_spec_and_perfect_split(self):
+        assert len(spec_suite()) == 11
+        assert len(perfect_suite()) == 7
+
+    def test_per_core_suites_match_paper_counts(self):
+        ino = suite_for_core("InO-core")
+        ooo = suite_for_core("OoO-core")
+        assert len(ino) == 18
+        assert len(ooo) == 11  # 8 SPEC + 3 PERFECT (footnote 3)
+        assert sum(1 for w in ooo if w.suite is WorkloadClass.SPEC) == 8
+        assert sum(1 for w in ooo if w.suite is WorkloadClass.PERFECT) == 3
+
+    def test_abft_partition(self):
+        assert {w.name for w in abft_correction_suite()} == {
+            "2d_convolution", "debayer_filter", "inner_product"}
+        assert len(abft_detection_suite()) == 4
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("does-not-exist")
+
+    def test_unique_names(self, suite):
+        names = [w.name for w in suite]
+        assert len(names) == len(set(names))
+
+
+class TestWorkloadPrograms:
+    @pytest.mark.parametrize("workload", full_suite(), ids=lambda w: w.name)
+    def test_program_assembles_and_has_expected_output(self, workload):
+        program = workload.program()
+        assert len(program.instructions) > 10
+        assert program.expected_output == workload.expected_output()
+        assert len(workload.expected_output()) >= 2
+
+    def test_program_cached(self):
+        workload = workload_by_name("bzip2")
+        assert workload.program() is workload.program()
+
+    def test_abft_variant_requires_support(self):
+        with pytest.raises(ValueError):
+            workload_by_name("bzip2").abft_program()
+
+    @pytest.mark.parametrize("workload", perfect_suite(), ids=lambda w: w.name)
+    def test_abft_variants_produce_identical_output(self, ino_core, workload):
+        expected = workload.expected_output()
+        result = ino_core.run(workload.abft_program(), max_cycles=400_000)
+        assert result.reason is TerminationReason.HALTED
+        assert result.output == expected
+
+    @pytest.mark.parametrize("workload", perfect_suite(), ids=lambda w: w.name)
+    def test_abft_variants_cost_execution_time(self, ino_core, workload):
+        base = ino_core.run(workload.program(), max_cycles=400_000)
+        protected = ino_core.run(workload.abft_program(), max_cycles=400_000)
+        assert protected.cycles > base.cycles
+
+
+class TestDataGeneration:
+    def test_lcg_deterministic(self):
+        assert lcg_sequence(10, seed=3) == lcg_sequence(10, seed=3)
+        assert lcg_sequence(10, seed=3) != lcg_sequence(10, seed=4)
+
+    def test_lcg_range(self):
+        values = lcg_sequence(100, seed=1, modulus=16)
+        assert all(0 <= v < 16 for v in values)
+        assert len(values) == 100
