@@ -1,0 +1,72 @@
+"""Injection-engine scaling: full re-simulation vs checkpointed vs parallel.
+
+Measures campaign throughput (injections/second) for the same fixed-seed
+campaign on a >=5k-cycle workload under three execution strategies:
+
+* ``serial, no checkpoints`` -- every injected run re-simulates from cycle 0
+  (the pre-engine behaviour, ``EngineConfig(checkpoint_interval=0)``);
+* ``serial, checkpointed`` -- injected runs fast-forward from the nearest
+  golden-run snapshot at or below their injection cycle;
+* ``parallel, checkpointed`` -- the checkpointed plan sharded over worker
+  processes.
+
+All three report identical outcome statistics (asserted below); golden-run
+recording time is excluded via a warm cache, matching the steady-state
+regime of multi-config campaigns.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import run_once
+
+from repro.engine import EngineConfig, GoldenRunCache, InjectionEngine
+from repro.microarch import InOrderCore
+from repro.reporting import format_table
+from repro.workloads import workload_by_name
+
+WORKLOAD = "mcf"          # 7.4k golden cycles on the InO-core
+INJECTIONS = 30
+PARALLEL_WORKERS = max(2, min(os.cpu_count() or 1, 4))
+
+
+def bench_engine_scaling(benchmark):
+    def payload():
+        program = workload_by_name(WORKLOAD).program()
+        modes = [
+            ("serial, no checkpoints", EngineConfig(checkpoint_interval=0)),
+            ("serial, checkpointed", EngineConfig()),
+            (f"parallel x{PARALLEL_WORKERS}, checkpointed",
+             EngineConfig(workers=PARALLEL_WORKERS)),
+        ]
+        rows = []
+        reference = None
+        baseline_rate = None
+        for label, config in modes:
+            cache = GoldenRunCache()
+            engine = InjectionEngine(InOrderCore(), program, seed=9,
+                                     config=config, golden_cache=cache)
+            checkpointed = engine.golden()  # warm the cache
+            start = time.perf_counter()
+            result = engine.run(injections=INJECTIONS)
+            elapsed = time.perf_counter() - start
+            if reference is None:
+                reference = result.outcomes
+            assert result.outcomes == reference, \
+                "execution strategies must report identical statistics"
+            rate = INJECTIONS / elapsed
+            if baseline_rate is None:
+                baseline_rate = rate
+            rows.append([label, checkpointed.checkpoint_count,
+                         f"{elapsed:.2f}s", f"{rate:.1f}",
+                         f"{rate / baseline_rate:.2f}x"])
+        return rows
+
+    rows = run_once(benchmark, payload)
+    print()
+    print(format_table(
+        f"Engine scaling: {INJECTIONS} injections on {WORKLOAD} (InO-core)",
+        ["strategy", "checkpoints", "wall time", "injections/s", "speedup"],
+        rows))

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from _harness import run_once
 
-from repro.faultinjection import HighLevelInjector, InjectionCampaign, InjectionLevel
+from repro.engine import InjectionEngine
+from repro.faultinjection import HighLevelInjector, InjectionLevel
 from repro.microarch import InOrderCore
 from repro.reporting import format_table
 from repro.resilience import (
@@ -78,7 +79,7 @@ def bench_table11_14_injection_levels(benchmark):
         core = InOrderCore()
         workload = workload_by_name("parser")
         rows = []
-        flip_flop = InjectionCampaign(core, workload.program(), seed=5).run(injections=60)
+        flip_flop = InjectionEngine(core, workload.program(), seed=5).run(injections=60)
         rows.append(["flip-flop (ground truth)",
                      f"{100 * flip_flop.outcomes.sdc_count / flip_flop.injections:.1f}%",
                      f"{100 * flip_flop.outcomes.due_count / flip_flop.injections:.1f}%"])

@@ -6,40 +6,60 @@ then repeats the campaign with every flip-flop hardened (LEAP-DICE) and with
 logic parity + flush recovery, and reports the measured SDC/DUE improvements
 (Eq. 1 of the paper).
 
-Run with:  python examples/injection_campaign.py  [injections]
+All three campaigns run on the checkpointed parallel injection engine: the
+golden run is recorded once with periodic core snapshots and shared across
+the three protection configurations (they only differ in injected-run
+semantics), each injected run fast-forwards from the nearest snapshot at or
+below its injection cycle, and the plan is sharded over worker processes.
+With the same seed the engine reports statistics identical to a serial
+cycle-0 re-simulation loop.
+
+Run with:  python examples/injection_campaign.py  [injections] [workers]
 """
 
 from __future__ import annotations
 
 import sys
+import time
 
 from repro.core import ResilienceTarget, SelectionPolicy, SelectiveHardeningPlanner, sdc_improvement, due_improvement
-from repro.faultinjection import CalibratedVulnerabilityModel, InjectionCampaign
+from repro.engine import GOLDEN_RUN_CACHE, EngineConfig, InjectionEngine
+from repro.faultinjection import CalibratedVulnerabilityModel
 from repro.microarch import InOrderCore
 from repro.physical import RecoveryKind, TimingModel
 from repro.resilience import ProtectedDesign, harden_top_flip_flops
 from repro.workloads import workload_by_name
 
 
-def main(injections: int = 150) -> None:
+def main(injections: int = 150, workers: int = 2) -> None:
     core = InOrderCore()
     workload = workload_by_name("histogram")
     program = workload.program()
+    config = EngineConfig(workers=workers)
     print(f"Workload: {workload.name} ({workload.description})")
+    print(f"Engine: {workers} worker(s), adaptive checkpointing")
 
-    baseline = InjectionCampaign(core, program, seed=1).run(injections=injections)
-    print(f"\nBaseline campaign: {baseline.injections} injections "
+    started = time.perf_counter()
+    baseline = InjectionEngine(core, program, seed=1, config=config).run(
+        injections=injections)
+    checkpointed = GOLDEN_RUN_CACHE.get(core, program)
+    print(f"\nGolden run: {checkpointed.golden.cycles} cycles, "
+          f"{checkpointed.checkpoint_count} checkpoints "
+          f"every {checkpointed.interval} cycles")
+    print(f"Baseline campaign: {baseline.injections} injections "
           f"(margin of error {100 * baseline.achieved_margin_of_error:.1f}%)")
     for outcome, count in baseline.outcomes.as_dict().items():
         print(f"  {outcome:22s} {count}")
 
-    # Configuration 1: every flip-flop hardened with LEAP-DICE.
+    # Configuration 1: every flip-flop hardened with LEAP-DICE.  The golden
+    # run (and its checkpoints) are reused from the cache: protection only
+    # changes injected-run semantics.
     hardened = ProtectedDesign(
         registry=core.registry,
         hardening=harden_top_flip_flops(list(range(core.flip_flop_count)),
                                         core.flip_flop_count))
-    hardened_run = InjectionCampaign(core, program, protection=hardened,
-                                     seed=1).run(injections=injections)
+    hardened_run = InjectionEngine(core, program, protection=hardened, seed=1,
+                                   config=config).run(injections=injections)
 
     # Configuration 2: Heuristic-1 mix of parity + LEAP-DICE with flush recovery.
     vulnerability = CalibratedVulnerabilityModel(core.registry, [workload.name]).build_map()
@@ -49,8 +69,8 @@ def main(injections: int = 150) -> None:
     cross_layer = planner.plan(ResilienceTarget(sdc=float("inf")),
                                recovery=RecoveryKind.FLUSH,
                                policy=SelectionPolicy()).design
-    cross_layer_run = InjectionCampaign(core, program, protection=cross_layer,
-                                        seed=1).run(injections=injections)
+    cross_layer_run = InjectionEngine(core, program, protection=cross_layer,
+                                      seed=1, config=config).run(injections=injections)
 
     for label, run, design in (("LEAP-DICE everywhere", hardened_run, hardened),
                                ("parity + LEAP-DICE + flush", cross_layer_run, cross_layer)):
@@ -61,6 +81,13 @@ def main(injections: int = 150) -> None:
         print(f"  measured SDC improvement  : {sdc:.1f}x")
         print(f"  measured DUE improvement  : {due:.1f}x")
 
+    elapsed = time.perf_counter() - started
+    total = 3 * injections
+    print(f"\n{total} injections across 3 protection configs in {elapsed:.1f}s "
+          f"({total / elapsed:.1f} injections/s; golden runs cached: "
+          f"{GOLDEN_RUN_CACHE.hits} hit(s), {GOLDEN_RUN_CACHE.misses} miss(es))")
+
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150,
+         int(sys.argv[2]) if len(sys.argv) > 2 else 2)

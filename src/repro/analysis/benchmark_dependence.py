@@ -19,7 +19,7 @@ from repro.core.heuristics import SelectionPolicy, SelectiveHardeningPlanner
 from repro.core.improvement import ResilienceTarget
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.flipflop import FlipFlopRegistry
-from repro.physical.cells import CellType, RecoveryKind
+from repro.physical.cells import RecoveryKind
 from repro.physical.costmodel import DesignCostModel
 from repro.physical.timing import TimingModel
 from repro.resilience.base import TechniqueDescriptor

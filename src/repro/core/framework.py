@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 from repro.core.exploration import CrossLayerExplorer, EvaluatedDesign
 from repro.core.improvement import ResilienceTarget
+from repro.engine.engine import EngineConfig, run_suite_campaign
 from repro.faultinjection.calibrated import CalibratedVulnerabilityModel
-from repro.faultinjection.campaign import run_suite_campaign
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.core import BaseCore
 from repro.microarch.inorder import InOrderCore
@@ -74,11 +74,19 @@ class ClearFramework:
         return model.build_map()
 
     def measure_vulnerability(self, injections_per_workload: int = 100,
-                              workloads: list[Workload] | None = None) -> VulnerabilityMap:
-        """Measured vulnerability from real injection campaigns (slower)."""
+                              workloads: list[Workload] | None = None,
+                              engine_config: EngineConfig | None = None,
+                              ) -> VulnerabilityMap:
+        """Measured vulnerability from real injection campaigns.
+
+        Campaigns run on the checkpointed injection engine; pass
+        ``engine_config`` (e.g. ``EngineConfig(workers=8)``) to fan the
+        injections out over worker processes or tune the checkpoint spacing.
+        """
         vulnerability, _ = run_suite_campaign(
             self.core, workloads or self.workloads,
-            injections_per_workload=injections_per_workload, seed=self.seed)
+            injections_per_workload=injections_per_workload, seed=self.seed,
+            config=engine_config)
         self.vulnerability = vulnerability
         self._explorer = None
         return vulnerability

@@ -1,0 +1,64 @@
+"""Checkpointed parallel injection engine.
+
+The engine layers statistical injection campaigns on top of the core models'
+snapshot/restore support:
+
+* :mod:`repro.engine.checkpoint` -- golden runs recorded with periodic core
+  snapshots, plus the process-wide golden-run cache shared across protection
+  configurations;
+* :mod:`repro.engine.executors` -- pluggable serial / process-pool executors
+  that replay pre-resolved injection shards and stream aggregates back;
+* :mod:`repro.engine.engine` -- :class:`InjectionEngine`, the campaign front
+  door, and the engine-backed suite runner.
+
+The legacy :class:`repro.faultinjection.campaign.InjectionCampaign` API is a
+thin shim over this package.
+"""
+
+from repro.engine.checkpoint import (
+    DEFAULT_MAX_CHECKPOINTS,
+    GOLDEN_RUN_CACHE,
+    CheckpointedGoldenRun,
+    GoldenRunCache,
+    record_checkpointed_golden,
+)
+from repro.engine.engine import (
+    EngineConfig,
+    InjectionEngine,
+    run_suite_campaign,
+)
+from repro.faultinjection.campaign import CampaignResult
+from repro.engine.executors import (
+    CampaignExecutor,
+    CampaignSpec,
+    ChunkResult,
+    ChunkSpec,
+    ParallelExecutor,
+    PlannedInjection,
+    SerialExecutor,
+    execute_chunk,
+    replay_planned_injection,
+    shard_plan,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CHECKPOINTS",
+    "GOLDEN_RUN_CACHE",
+    "CheckpointedGoldenRun",
+    "GoldenRunCache",
+    "record_checkpointed_golden",
+    "CampaignResult",
+    "EngineConfig",
+    "InjectionEngine",
+    "run_suite_campaign",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "ChunkResult",
+    "ChunkSpec",
+    "ParallelExecutor",
+    "PlannedInjection",
+    "SerialExecutor",
+    "execute_chunk",
+    "replay_planned_injection",
+    "shard_plan",
+]

@@ -1,0 +1,166 @@
+"""Checkpointed golden runs.
+
+The golden (error-free) run is the reference every injected run is classified
+against, and -- once checkpointed -- the springboard that makes injected runs
+cheap: a run with an injection at cycle ``c`` restores the nearest snapshot
+at or below ``c`` and simulates only the remaining cycles, instead of
+re-simulating from cycle 0.  For injections uniformly distributed over the
+golden run this roughly halves simulated cycles per injection; for campaigns
+that target late application regions the saving is far larger.
+
+Golden runs depend only on (core, program) -- never on the protection
+configuration, which acts purely on injected runs -- so a
+:class:`GoldenRunCache` shares one recorded run across every protection
+config evaluated for the same workload.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode_instruction
+from repro.isa.program import Program
+from repro.microarch.core import BaseCore, CoreSnapshot, DEFAULT_MAX_CYCLES
+from repro.microarch.events import RunResult
+
+INITIAL_CHECKPOINT_INTERVAL = 64
+"""Starting snapshot spacing for the adaptive recorder."""
+
+DEFAULT_MAX_CHECKPOINTS = 48
+"""Snapshot-count budget; the adaptive recorder doubles the interval (and
+thins existing snapshots) whenever the budget is exceeded, so memory stays
+bounded regardless of how long the golden run turns out to be."""
+
+
+@dataclass
+class CheckpointedGoldenRun:
+    """A golden run plus the periodic core snapshots recorded during it.
+
+    Attributes:
+        golden: the golden :class:`RunResult` (identical to what an
+            unrecorded run would produce -- recording only observes).
+        snapshots: core snapshots in ascending cycle order.
+        interval: final snapshot spacing in cycles.
+    """
+
+    golden: RunResult
+    snapshots: list[CoreSnapshot] = field(default_factory=list)
+    interval: int = 0
+
+    def __post_init__(self) -> None:
+        self._cycles = [snapshot.cycle for snapshot in self.snapshots]
+
+    def nearest(self, cycle: int) -> CoreSnapshot | None:
+        """Latest snapshot taken at or before ``cycle`` (None: start from 0)."""
+        index = bisect.bisect_right(self._cycles, cycle)
+        if index == 0:
+            return None
+        return self.snapshots[index - 1]
+
+    @property
+    def checkpoint_count(self) -> int:
+        return len(self.snapshots)
+
+
+class _CheckpointRecorder:
+    """Cycle hook that snapshots the core on an (adaptively growing) grid."""
+
+    def __init__(self, interval: int | None, max_checkpoints: int):
+        self.adaptive = interval is None
+        self.interval = interval if interval else INITIAL_CHECKPOINT_INTERVAL
+        self.max_checkpoints = max(1, max_checkpoints)
+        self.snapshots: list[CoreSnapshot] = []
+
+    def __call__(self, core: BaseCore, cycle: int) -> None:
+        if cycle == 0 or cycle % self.interval != 0:
+            return
+        self.snapshots.append(core.snapshot())
+        if self.adaptive and len(self.snapshots) > self.max_checkpoints:
+            self.interval *= 2
+            self.snapshots = [s for s in self.snapshots
+                              if s.cycle % self.interval == 0]
+
+
+def record_checkpointed_golden(core: BaseCore, program: Program,
+                               interval: int | None = None,
+                               max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+                               max_cycles: int = DEFAULT_MAX_CYCLES,
+                               ) -> CheckpointedGoldenRun:
+    """Run ``program`` on ``core`` once, recording periodic snapshots.
+
+    ``interval=None`` selects the adaptive grid (bounded snapshot count for
+    any run length); ``interval=0`` disables checkpointing entirely (the
+    result carries the golden run only, and every injected run replays from
+    cycle 0 -- the pre-engine behaviour, kept for benchmarking baselines).
+    """
+    if interval is not None and interval < 0:
+        raise ValueError(f"checkpoint interval must be >= 0, got {interval}")
+    if interval == 0:
+        golden = core.run(program, max_cycles=max_cycles)
+        return CheckpointedGoldenRun(golden=golden, snapshots=[], interval=0)
+    recorder = _CheckpointRecorder(interval, max_checkpoints)
+    golden = core.run(program, max_cycles=max_cycles, cycle_hook=recorder)
+    return CheckpointedGoldenRun(golden=golden, snapshots=recorder.snapshots,
+                                 interval=recorder.interval)
+
+
+def _program_fingerprint(program: Program) -> tuple:
+    """Content identity of a program (workloads rebuild equal Program objects
+    on every ``.program()`` call, so object identity is useless as a key)."""
+    return (program.name, program.entry_point, program.data.base,
+            tuple(program.data.words),
+            tuple(encode_instruction(i) for i in program.instructions))
+
+
+class GoldenRunCache:
+    """LRU cache of checkpointed golden runs, keyed by (core, program).
+
+    The key is the core's name plus a content fingerprint of the program, so
+    repeated campaigns on the same workload -- e.g. one per protection
+    configuration -- pay for the golden run and its snapshots exactly once.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, CheckpointedGoldenRun] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, core: BaseCore, program: Program, *,
+            interval: int | None = None,
+            max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+            max_cycles: int = DEFAULT_MAX_CYCLES) -> CheckpointedGoldenRun:
+        """Return the checkpointed golden run, recording it on first use."""
+        # Core class and flip-flop count guard against two differently-built
+        # cores sharing a user-supplied name: a snapshot restored onto the
+        # wrong model would misclassify every outcome.
+        key = (type(core).__qualname__, core.name, core.flip_flop_count,
+               _program_fingerprint(program), interval,
+               max_checkpoints, max_cycles)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        recorded = record_checkpointed_golden(
+            core, program, interval=interval, max_checkpoints=max_checkpoints,
+            max_cycles=max_cycles)
+        self._entries[key] = recorded
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return recorded
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+GOLDEN_RUN_CACHE = GoldenRunCache()
+"""Process-wide default cache, shared by every engine unless one is passed."""

@@ -1,0 +1,194 @@
+"""The checkpointed parallel injection engine.
+
+:class:`InjectionEngine` is the front door for statistical injection
+campaigns.  It composes three pieces:
+
+1. a **checkpointed golden run** (from the shared :class:`GoldenRunCache`),
+   so every injected run fast-forwards from the nearest snapshot at or below
+   its injection cycle instead of re-simulating from cycle 0;
+2. a **resolved plan**: the suppression lottery of every protected site is
+   drawn centrally, in plan order, from the campaign seed -- reproducing the
+   exact random stream of the original serial campaign loop while making
+   every injection independently replayable;
+3. a **pluggable executor** (serial or process-pool parallel) that streams
+   per-chunk aggregates back into a :class:`CampaignResult`.
+
+With a fixed seed the engine reports outcome counts and per-site tallies
+identical to the pre-engine serial campaign, independent of worker count,
+chunking or checkpoint spacing (see ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.checkpoint import (
+    DEFAULT_MAX_CHECKPOINTS,
+    GOLDEN_RUN_CACHE,
+    CheckpointedGoldenRun,
+    GoldenRunCache,
+)
+from repro.engine.executors import (
+    CampaignExecutor,
+    CampaignSpec,
+    ParallelExecutor,
+    PlannedInjection,
+    SerialExecutor,
+    shard_plan,
+)
+from repro.faultinjection.injector import (
+    Injection,
+    ProtectionProvider,
+    SiteProtection,
+    uniform_injection_plan,
+)
+from repro.faultinjection.outcomes import OutcomeCounts
+from repro.isa.program import Program
+from repro.microarch.core import BaseCore, DEFAULT_MAX_CYCLES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (campaign imports us lazily)
+    from repro.faultinjection.campaign import CampaignResult
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of the injection engine.
+
+    Attributes:
+        checkpoint_interval: golden-run snapshot spacing in cycles.  ``None``
+            (default) adapts the spacing to the run length under a bounded
+            snapshot budget; ``0`` disables checkpointing (every injected run
+            re-simulates from cycle 0 -- the pre-engine behaviour, kept as a
+            benchmarking baseline).
+        max_checkpoints: snapshot budget for the adaptive spacing.
+        workers: worker-process count; ``1`` selects the serial executor.
+        chunk_size: injections per work shard.  ``None`` derives a size that
+            gives each worker a handful of chunks (load balancing without
+            drowning in per-chunk pickling).
+        max_cycles: golden-run watchdog.
+    """
+
+    checkpoint_interval: int | None = None
+    max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS
+    workers: int = 1
+    chunk_size: int | None = None
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+
+class InjectionEngine:
+    """Checkpointed, optionally parallel injection campaigns for one
+    (core, program, protection) combination."""
+
+    def __init__(self, core: BaseCore, program: Program,
+                 protection: ProtectionProvider | None = None, seed: int = 0,
+                 config: EngineConfig | None = None,
+                 executor: CampaignExecutor | None = None,
+                 golden_cache: GoldenRunCache | None = None):
+        self.core = core
+        self.program = program
+        self.protection = protection
+        self.seed = seed
+        self.config = config or EngineConfig()
+        self._cache = golden_cache if golden_cache is not None else GOLDEN_RUN_CACHE
+        if executor is not None:
+            self._executor = executor
+        elif self.config.workers > 1:
+            self._executor = ParallelExecutor(workers=self.config.workers)
+        else:
+            self._executor = SerialExecutor()
+
+    # ------------------------------------------------------------------ golden
+    def golden(self) -> CheckpointedGoldenRun:
+        """The (cached) checkpointed golden run for this core and program."""
+        return self._cache.get(
+            self.core, self.program,
+            interval=self.config.checkpoint_interval,
+            max_checkpoints=self.config.max_checkpoints,
+            max_cycles=self.config.max_cycles)
+
+    # ------------------------------------------------------------------ planning
+    def resolve_plan(self, plan: list[Injection]) -> list[PlannedInjection]:
+        """Attach protection semantics and suppression draws to a raw plan.
+
+        Draw order matches the serial injector exactly: one ``random()`` call
+        per injection, in plan order, only for sites with a non-zero
+        suppression probability.
+        """
+        rng = random.Random(self.seed)
+        resolved = []
+        for injection in plan:
+            protection = (self.protection.site_protection(injection.flat_index)
+                          if self.protection is not None else SiteProtection())
+            suppressed = (protection.suppression > 0.0
+                          and rng.random() < protection.suppression)
+            resolved.append(PlannedInjection(injection=injection,
+                                             protection=protection,
+                                             suppressed=suppressed))
+        return resolved
+
+    def _chunk_size(self, plan_length: int) -> int:
+        if self.config.chunk_size is not None:
+            return max(1, self.config.chunk_size)
+        workers = getattr(self._executor, "workers", 1)
+        if workers <= 1:
+            return max(1, plan_length)
+        # ~4 chunks per worker: enough slack to balance uneven replay costs
+        # (late injections replay fewer cycles than early ones).
+        return max(1, -(-plan_length // (workers * 4)))
+
+    # ------------------------------------------------------------------ running
+    def run(self, injections: int = 200,
+            plan: list[Injection] | None = None) -> CampaignResult:
+        """Run a campaign of ``injections`` uniform samples (or an explicit
+        ``plan``) and aggregate the streamed chunk results."""
+        from repro.faultinjection.campaign import CampaignResult
+
+        checkpointed = self.golden()
+        golden = checkpointed.golden
+        if plan is None:
+            plan = uniform_injection_plan(self.core.flip_flop_count,
+                                          golden.cycles, injections,
+                                          seed=self.seed)
+        planned = self.resolve_plan(plan)
+        chunks = shard_plan(planned, self.seed, self._chunk_size(len(planned)))
+        spec = CampaignSpec(core=self.core, program=self.program,
+                            checkpointed=checkpointed)
+        outcomes = OutcomeCounts()
+        per_site: dict[int, OutcomeCounts] = {}
+        for chunk_result in self._executor.run_chunks(spec, chunks):
+            outcomes = outcomes.merged_with(chunk_result.outcomes)
+            for flat_index, counts in chunk_result.per_site.items():
+                merged = per_site.get(flat_index)
+                per_site[flat_index] = (counts if merged is None
+                                        else merged.merged_with(counts))
+        return CampaignResult(core_name=self.core.name,
+                              program_name=self.program.name,
+                              golden=golden, outcomes=outcomes,
+                              per_site=per_site)
+
+
+def run_suite_campaign(core: BaseCore, workloads,
+                       injections_per_workload: int = 100,
+                       protection: ProtectionProvider | None = None,
+                       seed: int = 0, config: EngineConfig | None = None,
+                       golden_cache: GoldenRunCache | None = None):
+    """Run engine-backed campaigns over workloads and build a vulnerability map.
+
+    Returns ``(vulnerability_map, [CampaignResult, ...])``.  Workload ``i``
+    runs with seed ``seed + i``, matching the historical suite runner, and
+    all campaigns share one golden-run cache.
+    """
+    from repro.faultinjection.vulnerability import VulnerabilityMap
+
+    vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
+    results = []
+    for offset, workload in enumerate(workloads):
+        engine = InjectionEngine(core, workload.program(),
+                                 protection=protection, seed=seed + offset,
+                                 config=config, golden_cache=golden_cache)
+        result = engine.run(injections=injections_per_workload)
+        result.contribute_to(vulnerability)
+        results.append(result)
+    return vulnerability, results

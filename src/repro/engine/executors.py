@@ -1,0 +1,234 @@
+"""Pluggable campaign executors.
+
+An executor takes a :class:`CampaignSpec` (core + program + checkpointed
+golden run) and a list of :class:`ChunkSpec` work shards and *streams*
+:class:`ChunkResult` aggregates back as they complete, so the engine can fold
+outcome counts incrementally instead of materialising every run result.
+
+Two executors ship here:
+
+* :class:`SerialExecutor` replays chunks in order on the caller's core --
+  zero overhead, exact pre-engine semantics.
+* :class:`ParallelExecutor` fans chunks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; each worker receives one
+  pickled copy of the campaign spec via the pool initializer and then only
+  chunk payloads per task.  Chunks carry deterministic derived seeds and
+  pre-resolved suppression draws, so results are independent of chunking,
+  scheduling and completion order.  If process pools are unavailable (import
+  restrictions, sandboxes), execution transparently falls back to serial for
+  the chunks that have not completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from repro.faultinjection.injector import (
+    Injection,
+    SiteProtection,
+    build_injection_hook,
+    injection_watchdog,
+)
+from repro.faultinjection.outcomes import OutcomeCategory, OutcomeCounts, classify_outcome
+from repro.isa.program import Program
+from repro.microarch.core import BaseCore
+from repro.microarch.events import RunResult
+from repro.engine.checkpoint import CheckpointedGoldenRun
+
+_SEED_STRIDE = 1_000_003
+"""Multiplier for deriving per-chunk seeds from the campaign seed."""
+
+
+@dataclass(frozen=True)
+class PlannedInjection:
+    """One injection with its protection semantics fully resolved.
+
+    The suppression lottery is drawn centrally (in campaign-plan order, from
+    the campaign seed) before sharding, which is what makes chunk execution
+    order-independent: no worker ever touches a shared random stream.
+    """
+
+    injection: Injection
+    protection: SiteProtection
+    suppressed: bool
+
+
+@dataclass
+class CampaignSpec:
+    """Everything a worker needs to replay injections for one campaign."""
+
+    core: BaseCore
+    program: Program
+    checkpointed: CheckpointedGoldenRun
+
+
+@dataclass
+class ChunkSpec:
+    """A shard of the injection plan.
+
+    Attributes:
+        index: position of the chunk in the plan (stable across executors).
+        planned: the injections of this shard, in plan order.
+        seed: deterministic per-chunk seed, ``campaign_seed * stride + index``.
+            Replay itself is fully deterministic, but backends that add
+            stochastic behaviour (sampling accelerators, approximate modes)
+            must draw from this seed so results stay chunking-independent.
+    """
+
+    index: int
+    planned: list[PlannedInjection]
+    seed: int
+
+
+@dataclass
+class ChunkResult:
+    """Streamed aggregate for one executed chunk."""
+
+    index: int
+    outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
+    per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
+    replayed_cycles: int = 0
+
+    def record(self, flat_index: int, outcome: OutcomeCategory) -> None:
+        self.outcomes.record(outcome)
+        self.per_site.setdefault(flat_index, OutcomeCounts()).record(outcome)
+
+
+def shard_plan(planned: list[PlannedInjection], seed: int,
+               chunk_size: int) -> list[ChunkSpec]:
+    """Split a resolved plan into contiguous chunks with derived seeds."""
+    chunk_size = max(1, chunk_size)
+    return [ChunkSpec(index=index, planned=planned[start:start + chunk_size],
+                      seed=seed * _SEED_STRIDE + index)
+            for index, start in enumerate(range(0, len(planned), chunk_size))]
+
+
+def replay_planned_injection(core: BaseCore, program: Program,
+                             planned: PlannedInjection,
+                             checkpointed: CheckpointedGoldenRun,
+                             ) -> tuple[RunResult, OutcomeCategory, int]:
+    """Run one injection, fast-forwarding from the nearest golden snapshot.
+
+    Restoring the latest snapshot at or before the injection cycle is exact:
+    the injection hook cannot have fired earlier, so the pre-injection prefix
+    of the run is identical to the golden run the snapshot was taken from.
+
+    Returns ``(injected_run, outcome, resumed_from_cycle)`` where the last
+    element is 0 when no snapshot preceded the injection cycle.
+    """
+    golden = checkpointed.golden
+    watchdog = injection_watchdog(golden)
+    hook = build_injection_hook(planned.injection, planned.protection,
+                                planned.suppressed)
+    snapshot = checkpointed.nearest(planned.injection.cycle)
+    if snapshot is None:
+        injected = core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        resumed_from = 0
+    else:
+        injected = core.resume(program, snapshot, max_cycles=watchdog,
+                               cycle_hook=hook)
+        resumed_from = snapshot.cycle
+    return injected, classify_outcome(golden, injected), resumed_from
+
+
+def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
+    """Replay every injection of one chunk and aggregate the outcomes."""
+    result = ChunkResult(index=chunk.index)
+    for planned in chunk.planned:
+        injected, outcome, resumed_from = replay_planned_injection(
+            spec.core, spec.program, planned, spec.checkpointed)
+        result.replayed_cycles += injected.cycles - resumed_from
+        result.record(planned.injection.flat_index, outcome)
+    return result
+
+
+class CampaignExecutor(Protocol):
+    """Anything that can execute a sharded campaign and stream aggregates."""
+
+    def run_chunks(self, spec: CampaignSpec,
+                   chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
+        """Execute ``chunks`` and yield one :class:`ChunkResult` each, in any
+        completion order."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SerialExecutor:
+    """Executes chunks in order on the calling process's core."""
+
+    def run_chunks(self, spec: CampaignSpec,
+                   chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
+        for chunk in chunks:
+            yield execute_chunk(spec, chunk)
+
+
+# ---------------------------------------------------------------------- workers
+_WORKER_SPEC: CampaignSpec | None = None
+
+
+def _init_worker(spec: CampaignSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _run_chunk_in_worker(chunk: ChunkSpec) -> ChunkResult:
+    assert _WORKER_SPEC is not None, "worker used before initialisation"
+    return execute_chunk(_WORKER_SPEC, chunk)
+
+
+class ParallelExecutor:
+    """Fans chunks out over a process pool, streaming results as they finish.
+
+    Attributes:
+        workers: process count.  Defaults to ``os.cpu_count()`` capped at 8
+            (campaign chunks are CPU-bound, so more processes than cores only
+            add pickling overhead); an explicit count is honoured as given,
+            which also lets tests exercise the pool on single-core machines.
+    """
+
+    def __init__(self, workers: int | None = None):
+        import os
+
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        self.workers = max(1, workers)
+
+    def run_chunks(self, spec: CampaignSpec,
+                   chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
+        if self.workers == 1 or len(chunks) <= 1:
+            yield from SerialExecutor().run_chunks(spec, chunks)
+            return
+        done: set[int] = set()
+        try:
+            yield from self._run_pooled(spec, chunks, done)
+        except Exception as error:
+            # Process pools can be unavailable (restricted environments) or
+            # die mid-campaign; replay the chunks that never completed
+            # serially so the campaign still finishes with exact results.
+            # Warn so benchmark/throughput readings are not misattributed
+            # to parallel execution.
+            import warnings
+
+            warnings.warn(
+                f"parallel campaign execution failed ({type(error).__name__}: "
+                f"{error}); finishing the remaining chunks serially",
+                RuntimeWarning, stacklevel=2)
+            remaining = [chunk for chunk in chunks if chunk.index not in done]
+            for chunk in remaining:
+                result = execute_chunk(spec, chunk)
+                done.add(result.index)
+                yield result
+
+    def _run_pooled(self, spec: CampaignSpec, chunks: list[ChunkSpec],
+                    done: set[int]) -> Iterator[ChunkResult]:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks)),
+                                 initializer=_init_worker,
+                                 initargs=(spec,)) as pool:
+            futures = [pool.submit(_run_chunk_in_worker, chunk)
+                       for chunk in chunks]
+            for future in as_completed(futures):
+                result = future.result()
+                done.add(result.index)
+                yield result

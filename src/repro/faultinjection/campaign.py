@@ -1,4 +1,4 @@
-"""Statistical injection campaigns.
+"""Statistical injection campaigns (engine-backed).
 
 A campaign runs many single-bit injections of a workload on a core
 (optionally with a protection configuration) and aggregates outcomes into an
@@ -8,27 +8,31 @@ A campaign runs many single-bit injections of a workload on a core
 The paper's campaigns are 9-million-injection FPGA/supercomputer runs; here
 the sample count is a parameter and the achieved margin of error is reported
 so callers can trade precision for time.
+
+Campaign execution lives in :mod:`repro.engine`: golden runs are recorded
+with periodic core snapshots (and cached across protection configurations),
+every injected run fast-forwards from the nearest snapshot, and plans can be
+sharded over worker processes.  :class:`InjectionCampaign` is kept as a thin
+shim with the historical constructor and :meth:`~InjectionCampaign.run`
+signature; with the same seed it reports bit-identical statistics.  The
+engine is imported lazily so that :mod:`repro.engine` and
+:mod:`repro.faultinjection` can be imported in either order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.faultinjection.injector import (
-    FlipFlopInjector,
-    Injection,
-    ProtectionProvider,
-    uniform_injection_plan,
-)
-from repro.faultinjection.outcomes import (
-    OutcomeCategory,
-    OutcomeCounts,
-    margin_of_error,
-)
-from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.faultinjection.injector import Injection, ProtectionProvider
+from repro.faultinjection.outcomes import OutcomeCounts, margin_of_error
+from repro.isa.program import Program
 from repro.microarch.core import BaseCore
 from repro.microarch.events import RunResult
-from repro.isa.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EngineConfig
+    from repro.faultinjection.vulnerability import VulnerabilityMap
 
 
 @dataclass
@@ -68,15 +72,24 @@ class CampaignResult:
 
 
 class InjectionCampaign:
-    """Runs a statistical flip-flop injection campaign for one workload."""
+    """Runs a statistical flip-flop injection campaign for one workload.
+
+    Thin shim over :class:`repro.engine.InjectionEngine`; pass ``config``
+    (an :class:`~repro.engine.EngineConfig`) to enable parallel workers or
+    tune checkpointing.
+    """
 
     def __init__(self, core: BaseCore, program: Program,
-                 protection: ProtectionProvider | None = None, seed: int = 0):
+                 protection: ProtectionProvider | None = None, seed: int = 0,
+                 config: EngineConfig | None = None):
+        from repro.engine.engine import InjectionEngine
+
         self.core = core
         self.program = program
         self.protection = protection
         self.seed = seed
-        self._injector = FlipFlopInjector(core, protection=protection, seed=seed)
+        self._engine = InjectionEngine(core, program, protection=protection,
+                                       seed=seed, config=config)
 
     def run(self, injections: int = 200,
             plan: list[Injection] | None = None) -> CampaignResult:
@@ -85,33 +98,25 @@ class InjectionCampaign:
         A pre-computed ``plan`` (e.g. from
         :func:`~repro.faultinjection.injector.exhaustive_site_plan`) overrides
         the uniform sampling.
+
+        Note: ``run()`` is idempotent -- the suppression lottery is re-drawn
+        from the campaign seed on every call, so repeated runs return
+        identical statistics.  (The legacy injector kept one RNG across
+        calls, so a *second* ``run()`` on the same object drew fresh
+        samples; use distinct seeds to collect independent repetitions.)
         """
-        golden = self._injector.golden_run(self.program)
-        if plan is None:
-            plan = uniform_injection_plan(self.core.flip_flop_count, golden.cycles,
-                                          injections, seed=self.seed)
-        outcomes = OutcomeCounts()
-        per_site: dict[int, OutcomeCounts] = {}
-        for injection in plan:
-            _, outcome = self._injector.run_with_injection(self.program, injection,
-                                                           golden)
-            outcomes.record(outcome)
-            per_site.setdefault(injection.flat_index, OutcomeCounts()).record(outcome)
-        return CampaignResult(core_name=self.core.name,
-                              program_name=self.program.name,
-                              golden=golden, outcomes=outcomes, per_site=per_site)
+        return self._engine.run(injections=injections, plan=plan)
 
 
-def run_suite_campaign(core: BaseCore, workloads, injections_per_workload: int = 100,
+def run_suite_campaign(core: BaseCore, workloads,
+                       injections_per_workload: int = 100,
                        protection: ProtectionProvider | None = None,
-                       seed: int = 0) -> tuple[VulnerabilityMap, list[CampaignResult]]:
+                       seed: int = 0,
+                       config: EngineConfig | None = None,
+                       ) -> tuple[VulnerabilityMap, list[CampaignResult]]:
     """Run campaigns over a list of workloads and build a vulnerability map."""
-    vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
-    results = []
-    for offset, workload in enumerate(workloads):
-        campaign = InjectionCampaign(core, workload.program(),
-                                     protection=protection, seed=seed + offset)
-        result = campaign.run(injections=injections_per_workload)
-        result.contribute_to(vulnerability)
-        results.append(result)
-    return vulnerability, results
+    from repro.engine.engine import run_suite_campaign as engine_suite
+
+    return engine_suite(core, workloads,
+                        injections_per_workload=injections_per_workload,
+                        protection=protection, seed=seed, config=config)

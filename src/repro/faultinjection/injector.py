@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Iterable, Protocol
 
-from repro.microarch.core import BaseCore
+from repro.microarch.core import BaseCore, CycleHook
 from repro.microarch.events import DetectionEvent, RunResult, TerminationReason
 from repro.faultinjection.outcomes import OutcomeCategory, classify_outcome
 from repro.isa.program import Program
@@ -71,6 +71,48 @@ class ProtectionProvider(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+def injection_watchdog(golden: RunResult) -> int:
+    """Cycle limit for an injected run (Hang classification threshold)."""
+    return max(int(golden.cycles * HANG_FACTOR), golden.cycles + 64)
+
+
+def build_injection_hook(injection: Injection, protection: SiteProtection,
+                         suppressed: bool) -> CycleHook:
+    """Build the per-cycle hook that applies one injection to a core.
+
+    ``suppressed`` is the (already-drawn) outcome of the hardened cell's
+    suppression lottery; resolving it up-front keeps the hook deterministic,
+    which lets the injection engine pre-plan suppression decisions centrally
+    and replay injections in any order (or any process) without disturbing
+    the random stream.
+    """
+
+    def hook(core: BaseCore, cycle: int) -> None:
+        if cycle != injection.cycle:
+            return
+        if suppressed:
+            # The hardened cell absorbed the strike: no state change.
+            return
+        if protection.detects and protection.recoverable:
+            # Detection one cycle after the upset followed by hardware
+            # recovery: architecturally equivalent to absorbing the
+            # upset, at the cost of the recovery latency.
+            core.signal_detection(DetectionEvent(
+                technique=protection.technique, cycle=cycle + 1,
+                detail=f"ff={injection.flat_index}", recovered=True))
+            core.schedule_recovery(protection.recovery_latency)
+            return
+        structure = core.latches.flip_flat(injection.flat_index)
+        if protection.detects:
+            core.signal_detection(DetectionEvent(
+                technique=protection.technique, cycle=cycle + 1,
+                detail=f"ff={injection.flat_index} structure={structure}",
+                recovered=False))
+            core.force_termination(TerminationReason.DETECTED)
+
+    return hook
+
+
 class FlipFlopInjector:
     """Runs single-bit flip-flop injections on a core."""
 
@@ -91,41 +133,34 @@ class FlipFlopInjector:
     def run_with_injection(self, program: Program, injection: Injection,
                            golden: RunResult) -> tuple[RunResult, OutcomeCategory]:
         """Run one injection and classify its outcome against ``golden``."""
-        watchdog = max(int(golden.cycles * HANG_FACTOR), golden.cycles + 64)
+        watchdog = injection_watchdog(golden)
         hook = self._build_hook(injection)
         injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
         return injected, classify_outcome(golden, injected)
 
-    def _build_hook(self, injection: Injection):
+    def _build_hook(self, injection: Injection) -> CycleHook:
         protection = (self.protection.site_protection(injection.flat_index)
                       if self.protection is not None else SiteProtection())
+        # One suppression draw per injection, in call order -- the injection
+        # engine reproduces this exact stream when it pre-plans campaigns.
         suppressed = (protection.suppression > 0.0
                       and self._rng.random() < protection.suppression)
+        return build_injection_hook(injection, protection, suppressed)
 
-        def hook(core: BaseCore, cycle: int) -> None:
-            if cycle != injection.cycle:
-                return
-            if suppressed:
-                # The hardened cell absorbed the strike: no state change.
-                return
-            if protection.detects and protection.recoverable:
-                # Detection one cycle after the upset followed by hardware
-                # recovery: architecturally equivalent to absorbing the
-                # upset, at the cost of the recovery latency.
-                core.signal_detection(DetectionEvent(
-                    technique=protection.technique, cycle=cycle + 1,
-                    detail=f"ff={injection.flat_index}", recovered=True))
-                core.schedule_recovery(protection.recovery_latency)
-                return
-            structure = core.latches.flip_flat(injection.flat_index)
-            if protection.detects:
-                core.signal_detection(DetectionEvent(
-                    technique=protection.technique, cycle=cycle + 1,
-                    detail=f"ff={injection.flat_index} structure={structure}",
-                    recovered=False))
-                core.force_termination(TerminationReason.DETECTED)
 
-        return hook
+def _sampled_plan(sites: Iterable[int], golden_cycles: int,
+                  rng: random.Random) -> list[Injection]:
+    """Pair every site in ``sites`` with a uniformly-sampled golden-run cycle.
+
+    The ``max(1, golden_cycles)`` guard keeps the cycle draw well-defined for
+    degenerate zero-cycle golden runs (e.g. an empty program that faults on
+    its first fetch): the injection then targets cycle 0, which the watchdog
+    still executes.  ``sites`` may itself draw from ``rng``; it is consumed
+    lazily so site and cycle draws interleave one injection at a time.
+    """
+    cycle_span = max(1, golden_cycles)
+    return [Injection(flat_index=site, cycle=rng.randrange(cycle_span))
+            for site in sites]
 
 
 def uniform_injection_plan(total_flip_flops: int, golden_cycles: int, count: int,
@@ -136,13 +171,8 @@ def uniform_injection_plan(total_flip_flops: int, golden_cycles: int, count: int
     regions (cycles of the golden run), mimicking real-world strikes.
     """
     rng = random.Random(seed)
-    plan = []
-    for _ in range(count):
-        plan.append(Injection(
-            flat_index=rng.randrange(total_flip_flops),
-            cycle=rng.randrange(max(1, golden_cycles)),
-        ))
-    return plan
+    sites = (rng.randrange(total_flip_flops) for _ in range(count))
+    return _sampled_plan(sites, golden_cycles, rng)
 
 
 def exhaustive_site_plan(total_flip_flops: int, golden_cycles: int,
@@ -154,9 +184,7 @@ def exhaustive_site_plan(total_flip_flops: int, golden_cycles: int,
     few samples.
     """
     rng = random.Random(seed)
-    plan = []
-    for flat_index in range(total_flip_flops):
-        for _ in range(samples_per_flip_flop):
-            plan.append(Injection(flat_index=flat_index,
-                                  cycle=rng.randrange(max(1, golden_cycles))))
-    return plan
+    sites = (flat_index
+             for flat_index in range(total_flip_flops)
+             for _ in range(samples_per_flip_flop))
+    return _sampled_plan(sites, golden_cycles, rng)

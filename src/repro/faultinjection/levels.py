@@ -6,6 +6,12 @@ models: uniform architectural-register injection (regU), register-write
 injection (regW), uniform program-variable injection (varU) and
 program-variable-write injection (varW).  This module implements those four
 models on top of the cycle-level cores so the same comparison can be made.
+
+Campaigns route through the injection engine's checkpointed golden runs: the
+golden run comes from the shared :data:`~repro.engine.GOLDEN_RUN_CACHE` (so
+flip-flop and high-level campaigns on the same workload share it), and every
+injected run fast-forwards from the nearest snapshot at or below its
+injection cycle.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import random
 from dataclasses import dataclass
 from enum import Enum, unique
 
+from repro.engine.checkpoint import GOLDEN_RUN_CACHE, CheckpointedGoldenRun
 from repro.faultinjection.outcomes import OutcomeCategory, OutcomeCounts, classify_outcome
 from repro.isa.program import Program
 from repro.isa.simulator import FunctionalSimulator
@@ -103,7 +110,9 @@ class HighLevelInjector:
 
     # ------------------------------------------------------------------ execution
     def run_with_injection(self, program: Program, injection: HighLevelInjection,
-                           golden: RunResult) -> tuple[RunResult, OutcomeCategory]:
+                           golden: RunResult,
+                           checkpointed: CheckpointedGoldenRun | None = None,
+                           ) -> tuple[RunResult, OutcomeCategory]:
         watchdog = max(int(golden.cycles * 2.0), golden.cycles + 64)
 
         def hook(core: BaseCore, cycle: int) -> None:
@@ -119,15 +128,23 @@ class HighLevelInjector:
                     value = memory.load_word(injection.address)
                     memory.store_word(injection.address, value ^ (1 << injection.bit))
 
-        injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        snapshot = (checkpointed.nearest(injection.cycle)
+                    if checkpointed is not None else None)
+        if snapshot is None:
+            injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        else:
+            injected = self.core.resume(program, snapshot, max_cycles=watchdog,
+                                        cycle_hook=hook)
         return injected, classify_outcome(golden, injected)
 
     def campaign(self, level: InjectionLevel, program: Program,
                  count: int = 100) -> OutcomeCounts:
         """Run a campaign at one injection level and return outcome counts."""
-        golden = self.core.run(program)
+        checkpointed = GOLDEN_RUN_CACHE.get(self.core, program)
+        golden = checkpointed.golden
         counts = OutcomeCounts()
         for injection in self.plan(level, program, golden, count):
-            _, outcome = self.run_with_injection(program, injection, golden)
+            _, outcome = self.run_with_injection(program, injection, golden,
+                                                 checkpointed=checkpointed)
             counts.record(outcome)
         return counts

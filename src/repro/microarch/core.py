@@ -10,6 +10,7 @@ semantics are applied from the outside via per-cycle hooks.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.isa.program import Program
@@ -22,6 +23,43 @@ CycleHook = Callable[["BaseCore", int], None]
 
 DEFAULT_MAX_CYCLES = 2_000_000
 """Safety watchdog for golden (error-free) runs."""
+
+
+@dataclass
+class CoreSnapshot:
+    """Complete mid-run state of a core, captured at a cycle boundary.
+
+    A snapshot taken at the *start* of cycle ``cycle`` (before the cycle hook
+    fires) can be restored onto any identically-constructed core;
+    :meth:`BaseCore.resume` then reproduces the remainder of the run
+    bit-for-bit.  Snapshots are plain data (ints, lists, dicts) so they can be
+    pickled to worker processes by the parallel injection engine.
+
+    Attributes:
+        core_name: name of the core the snapshot was taken from (validated on
+            restore).
+        cycle: cycle number at capture time.
+        retired: committed instruction count.
+        output: program output emitted so far.
+        detections: resilience-technique detections raised so far.
+        recovery_cycles: total hardware-recovery stall cycles charged.
+        pending_recovery: recovery stall cycles not yet consumed.
+        latches: flip-flop values in registry order
+            (:meth:`~repro.microarch.state.LatchState.serialize`).
+        micro: core-specific non-latch state (architectural registers, memory
+            image, execution-unit bookkeeping) as produced by the core's
+            ``_snapshot_microarchitecture``.
+    """
+
+    core_name: str
+    cycle: int
+    retired: int
+    output: list[int]
+    detections: list[DetectionEvent]
+    recovery_cycles: int
+    pending_recovery: int
+    latches: tuple[int, ...]
+    micro: dict = field(default_factory=dict)
 
 
 class BaseCore(ABC):
@@ -115,6 +153,68 @@ class BaseCore(ABC):
     def _step_cycle(self) -> None:
         """Advance the core by one clock cycle."""
 
+    @abstractmethod
+    def _snapshot_microarchitecture(self) -> dict:
+        """Capture all core-specific state not held in the latch registry.
+
+        Must return plain (picklable) data; every mutable container must be
+        copied so later simulation does not alias into the snapshot.
+        """
+
+    @abstractmethod
+    def _restore_microarchitecture(self, micro: dict) -> None:
+        """Restore state captured by :meth:`_snapshot_microarchitecture`.
+
+        Must copy mutable containers out of ``micro`` so that restoring the
+        same snapshot twice is safe.
+        """
+
+    # ------------------------------------------------------------------ checkpointing
+    def snapshot(self) -> CoreSnapshot:
+        """Capture the complete simulation state at the current cycle boundary.
+
+        Call from a cycle hook (the start of a cycle) or after termination;
+        the snapshot can later be handed to :meth:`restore`/:meth:`resume` on
+        this core or any identically-constructed one.
+        """
+        if self.latches is None:
+            raise RuntimeError("core state was never finalised")
+        return CoreSnapshot(
+            core_name=self.name,
+            cycle=self._cycle,
+            retired=self._retired,
+            output=list(self._output),
+            detections=[replace(d) for d in self._detections],
+            recovery_cycles=self._recovery_cycles,
+            pending_recovery=self._pending_recovery,
+            latches=self.latches.serialize(),
+            micro=self._snapshot_microarchitecture(),
+        )
+
+    def restore(self, program: Program, snapshot: CoreSnapshot) -> None:
+        """Adopt the state captured in ``snapshot`` for a run of ``program``.
+
+        ``program`` must be the program that was running when the snapshot
+        was taken (snapshots do not embed the program so that one pickled
+        program instance can be shared across many checkpoints).
+        """
+        if self.latches is None:
+            raise RuntimeError("core state was never finalised")
+        if snapshot.core_name != self.name:
+            raise ValueError(f"snapshot from core {snapshot.core_name!r} cannot "
+                             f"be restored onto core {self.name!r}")
+        self._program = program
+        self._cycle = snapshot.cycle
+        self._retired = snapshot.retired
+        self._output = list(snapshot.output)
+        self._detections = [replace(d) for d in snapshot.detections]
+        self._recovery_cycles = snapshot.recovery_cycles
+        self._pending_recovery = snapshot.pending_recovery
+        self._termination = None
+        self._trap = None
+        self.latches.deserialize(snapshot.latches)
+        self._restore_microarchitecture(snapshot.micro)
+
     # ------------------------------------------------------------------ run loop
     def reset(self, program: Program) -> None:
         """Prepare the core for a fresh run of ``program``."""
@@ -154,6 +254,23 @@ class BaseCore(ABC):
         the run.
         """
         self.reset(program)
+        return self._run_loop(max_cycles, cycle_hook)
+
+    def resume(self, program: Program, snapshot: CoreSnapshot,
+               max_cycles: int = DEFAULT_MAX_CYCLES,
+               cycle_hook: CycleHook | None = None) -> RunResult:
+        """Continue a run of ``program`` from ``snapshot`` to termination.
+
+        Behaves exactly like :meth:`run` from the snapshot's cycle onwards:
+        the cycle hook first fires at the snapshot cycle (the point at which
+        the snapshot was captured), and ``max_cycles`` counts absolute cycles
+        from cycle 0, so a resumed run reproduces an unresumed one
+        bit-for-bit.
+        """
+        self.restore(program, snapshot)
+        return self._run_loop(max_cycles, cycle_hook)
+
+    def _run_loop(self, max_cycles: int, cycle_hook: CycleHook | None) -> RunResult:
         while self._termination is None:
             if self._cycle >= max_cycles:
                 self._termination = TerminationReason.HANG
@@ -164,7 +281,7 @@ class BaseCore(ABC):
                 break
             self.step()
         return RunResult(
-            program_name=program.name,
+            program_name=self._program.name if self._program else "",
             core_name=self.name,
             reason=self._termination,
             trap=self._trap,

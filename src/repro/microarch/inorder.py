@@ -26,7 +26,7 @@ as in the paper, and are therefore not injection targets.
 from __future__ import annotations
 
 from repro.isa.encoding import EncodingError, decode_instruction, encode_instruction
-from repro.isa.instructions import Instruction, InstructionFormat, Opcode, OPCODE_INFO
+from repro.isa.instructions import Opcode, OPCODE_INFO
 from repro.isa.program import Program, WORD_BYTES
 from repro.isa.registers import NUM_REGISTERS
 from repro.microarch.branch_predictor import BimodalPredictor
@@ -186,6 +186,21 @@ class InOrderCore(BaseCore):
         latches.set("f.pc", program.entry_point)
         latches.set("f.npc", program.entry_point + WORD_BYTES)
         latches.set("f.valid", 1)
+
+    # ------------------------------------------------------------------ checkpointing
+    def _snapshot_microarchitecture(self) -> dict:
+        # The bimodal predictor lives entirely in latch state; everything
+        # else the pipeline touches between cycles is captured here.
+        return {
+            "registers": list(self.registers),
+            "memory": self.memory.snapshot_words(),
+            "redirect_target": self._redirect_target,
+        }
+
+    def _restore_microarchitecture(self, micro: dict) -> None:
+        self.registers = list(micro["registers"])
+        self.memory.restore_words(micro["memory"])
+        self._redirect_target = micro["redirect_target"]
 
     # ------------------------------------------------------------------ helpers
     def _bubble(self, prefix: str) -> None:

@@ -103,6 +103,15 @@ class MemorySystem:
         word |= (value & 0xFF) << shift
         self._words[word_address] = word
 
+    # ------------------------------------------------------------------ checkpointing
+    def snapshot_words(self) -> dict[int, int]:
+        """Copy of the entire memory contents (used by core checkpoints)."""
+        return dict(self._words)
+
+    def restore_words(self, words: dict[int, int]) -> None:
+        """Replace memory contents with a copy captured by :meth:`snapshot_words`."""
+        self._words = dict(words)
+
     # ------------------------------------------------------------------ export
     def dump_region(self, name: str) -> dict[int, int]:
         """Return ``{address: word}`` for all touched words in region ``name``."""

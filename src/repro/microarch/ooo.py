@@ -26,7 +26,7 @@ not injection targets, as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.isa.encoding import EncodingError, decode_instruction, encode_instruction
 from repro.isa.instructions import Opcode, OPCODE_INFO
@@ -276,6 +276,23 @@ class OutOfOrderCore(BaseCore):
         self._fetch_stalled = False
         self.latches.set("fetch.pc", program.entry_point)
         self.latches.set("fetch.valid", 1)
+
+    # ------------------------------------------------------------------ checkpointing
+    def _snapshot_microarchitecture(self) -> dict:
+        # _InFlightOp.remaining_cycles is decremented in place every cycle,
+        # so the ops must be copied in both directions.
+        return {
+            "registers": list(self.registers),
+            "memory": self.memory.snapshot_words(),
+            "in_flight": [replace(op) for op in self._in_flight],
+            "fetch_stalled": self._fetch_stalled,
+        }
+
+    def _restore_microarchitecture(self, micro: dict) -> None:
+        self.registers = list(micro["registers"])
+        self.memory.restore_words(micro["memory"])
+        self._in_flight = [replace(op) for op in micro["in_flight"]]
+        self._fetch_stalled = micro["fetch_stalled"]
 
     # ------------------------------------------------------------------ cycle
     def _step_cycle(self) -> None:

@@ -87,5 +87,30 @@ class LatchState:
             if name in self._values:
                 self._values[name] = value
 
+    # ------------------------------------------------------------------ serialization
+    def serialize(self) -> tuple[int, ...]:
+        """All structure values in registry order (compact, picklable).
+
+        The registry is frozen when the core is built, so the ordering is
+        stable for the lifetime of the core and across identically-built
+        cores -- which lets checkpoints travel to worker processes without
+        carrying structure names.
+        """
+        return tuple(self._values[s.name] for s in self._registry.structures)
+
+    def deserialize(self, values: "tuple[int, ...] | list[int]") -> None:
+        """Restore values captured by :meth:`serialize`.
+
+        Raises:
+            ValueError: if ``values`` does not match the registry layout.
+        """
+        structures = self._registry.structures
+        if len(values) != len(structures):
+            raise ValueError(
+                f"serialized latch state has {len(values)} values, registry "
+                f"expects {len(structures)}")
+        for structure, value in zip(structures, values):
+            self._values[structure.name] = value
+
     def structures(self) -> tuple[FlipFlopStructure, ...]:
         return self._registry.structures

@@ -1,0 +1,236 @@
+"""Tests for the checkpointed parallel injection engine.
+
+Covers the three invariants the engine rests on:
+
+1. core snapshot/restore is bit-exact (property-tested on both cores);
+2. checkpointed replay, serial or parallel, reproduces the legacy serial
+   campaign loop exactly (outcome counts *and* per-site tallies);
+3. the golden-run cache shares recorded runs across protection configs and
+   distinguishes programs by content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    CheckpointedGoldenRun,
+    EngineConfig,
+    GoldenRunCache,
+    InjectionEngine,
+    ParallelExecutor,
+    SerialExecutor,
+    record_checkpointed_golden,
+)
+from repro.faultinjection import (
+    FlipFlopInjector,
+    OutcomeCounts,
+    SiteProtection,
+    exhaustive_site_plan,
+    uniform_injection_plan,
+)
+from repro.isa.program import DataSegment
+from repro.microarch import InOrderCore, OutOfOrderCore
+from repro.workloads import workload_by_name
+
+CORE_CLASSES = (InOrderCore, OutOfOrderCore)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return workload_by_name("vpr").program()
+
+
+@pytest.fixture(scope="module")
+def full_results(program):
+    """Uncheckpointed reference RunResult per core class."""
+    return {cls: cls().run(program) for cls in CORE_CLASSES}
+
+
+class MixedProtection:
+    """Protection with suppression, detection and recovery sites, so the
+    equivalence tests exercise the suppression-lottery stream."""
+
+    def site_protection(self, flat_index):
+        if flat_index % 3 == 0:
+            return SiteProtection(technique="lhl", suppression=0.75)
+        if flat_index % 7 == 0:
+            return SiteProtection(technique="parity", detects=True,
+                                  recoverable=flat_index % 2 == 0,
+                                  recovery_latency=7)
+        return SiteProtection()
+
+
+def legacy_campaign(core, program, protection, seed, plan):
+    """The pre-engine serial loop: full re-simulation from cycle 0, one
+    sequential suppression draw per injection."""
+    injector = FlipFlopInjector(core, protection=protection, seed=seed)
+    golden = injector.golden_run(program)
+    outcomes = OutcomeCounts()
+    per_site = {}
+    for injection in plan:
+        _, outcome = injector.run_with_injection(program, injection, golden)
+        outcomes.record(outcome)
+        per_site.setdefault(injection.flat_index, OutcomeCounts()).record(outcome)
+    return golden, outcomes, per_site
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES, ids=lambda c: c.__name__)
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_snapshot_extra_cycles_restore_is_bit_exact(self, core_cls, program,
+                                                        full_results, data):
+        """snapshot() -> extra cycles -> restore() -> run-to-end reproduces
+        the uncheckpointed RunResult bit-for-bit."""
+        full = full_results[core_cls]
+        cycle = data.draw(st.integers(min_value=0, max_value=full.cycles - 1),
+                          label="snapshot_cycle")
+        extra = data.draw(st.integers(min_value=0, max_value=64),
+                          label="extra_cycles")
+        core = core_cls()
+        core.reset(program)
+        for _ in range(cycle):
+            core.step()
+        snapshot = core.snapshot()
+        for _ in range(extra):
+            if not core.step():
+                break
+        resumed = core.resume(program, snapshot)
+        assert resumed == full
+
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES, ids=lambda c: c.__name__)
+    def test_restore_onto_fresh_core_and_double_restore(self, core_cls, program,
+                                                        full_results):
+        recorded = record_checkpointed_golden(core_cls(), program, interval=100)
+        snapshot = recorded.snapshots[len(recorded.snapshots) // 2]
+        other = core_cls()
+        assert other.resume(program, snapshot) == full_results[core_cls]
+        # Restoring the same snapshot again must not be corrupted by the
+        # first resume (mutable state must be copied on restore).
+        assert other.resume(program, snapshot) == full_results[core_cls]
+
+    def test_restore_rejects_foreign_snapshot(self, program):
+        snapshot = record_checkpointed_golden(InOrderCore(), program,
+                                              interval=100).snapshots[0]
+        with pytest.raises(ValueError):
+            OutOfOrderCore().restore(program, snapshot)
+
+    def test_latch_serialize_roundtrip(self, program):
+        core = InOrderCore()
+        core.reset(program)
+        for _ in range(50):
+            core.step()
+        values = core.latches.serialize()
+        expected = core.latches.snapshot()
+        core.latches.clear()
+        core.latches.deserialize(values)
+        assert core.latches.snapshot() == expected
+        with pytest.raises(ValueError):
+            core.latches.deserialize(values[:-1])
+
+
+class TestCheckpointedGolden:
+    def test_recording_does_not_change_golden(self, program, full_results):
+        recorded = record_checkpointed_golden(InOrderCore(), program)
+        assert recorded.golden == full_results[InOrderCore]
+        assert recorded.checkpoint_count > 0
+        cycles = [s.cycle for s in recorded.snapshots]
+        assert cycles == sorted(cycles)
+
+    def test_nearest_picks_latest_at_or_below(self, program):
+        recorded = record_checkpointed_golden(InOrderCore(), program, interval=100)
+        assert recorded.nearest(99) is None
+        assert recorded.nearest(100).cycle == 100
+        assert recorded.nearest(399).cycle == 300
+        last = recorded.snapshots[-1]
+        assert recorded.nearest(10**9) is last
+
+    def test_adaptive_interval_bounds_snapshot_count(self, program):
+        recorded = record_checkpointed_golden(InOrderCore(), program,
+                                              max_checkpoints=4)
+        assert recorded.checkpoint_count <= 4
+        assert recorded.interval > 64  # doubled at least once on this workload
+
+    def test_interval_zero_disables_checkpointing(self, program):
+        recorded = record_checkpointed_golden(InOrderCore(), program, interval=0)
+        assert recorded.snapshots == []
+        assert recorded.nearest(500) is None
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES, ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("protected", [False, True], ids=["bare", "protected"])
+    def test_engine_matches_legacy_serial_loop(self, core_cls, program, protected):
+        protection = MixedProtection() if protected else None
+        seed, count = 11, 16
+        core = core_cls()
+        golden = core.run(program)
+        plan = uniform_injection_plan(core.flip_flop_count, golden.cycles,
+                                      count, seed=seed)
+        _, outcomes, per_site = legacy_campaign(core_cls(), program, protection,
+                                                seed, plan)
+        engine = InjectionEngine(core_cls(), program, protection=protection,
+                                 seed=seed, golden_cache=GoldenRunCache())
+        result = engine.run(injections=count)
+        assert result.outcomes == outcomes
+        assert result.per_site == per_site
+
+    def test_serial_and_parallel_executors_identical(self, program):
+        seed, count = 23, 24
+        results = []
+        for executor in (SerialExecutor(), ParallelExecutor(workers=2)):
+            engine = InjectionEngine(InOrderCore(), program,
+                                     protection=MixedProtection(), seed=seed,
+                                     config=EngineConfig(chunk_size=5),
+                                     executor=executor,
+                                     golden_cache=GoldenRunCache())
+            results.append(engine.run(injections=count))
+        serial, parallel = results
+        assert serial.outcomes == parallel.outcomes
+        assert serial.per_site == parallel.per_site
+        assert serial.outcomes.total == count
+
+    def test_explicit_plan_routes_through_engine(self, program):
+        core = InOrderCore()
+        golden = core.run(program)
+        plan = exhaustive_site_plan(8, golden.cycles, 2, seed=3)
+        _, outcomes, per_site = legacy_campaign(InOrderCore(), program, None,
+                                                3, plan)
+        result = InjectionEngine(InOrderCore(), program, seed=3,
+                                 golden_cache=GoldenRunCache()).run(plan=plan)
+        assert result.outcomes == outcomes
+        assert result.per_site == per_site
+        assert set(result.per_site) == set(range(8))
+
+
+class TestGoldenRunCache:
+    def test_shared_across_protection_configs(self, program):
+        cache = GoldenRunCache()
+        core = InOrderCore()
+        for protection in (None, MixedProtection()):
+            InjectionEngine(core, program, protection=protection, seed=1,
+                            golden_cache=cache).run(injections=4)
+        assert cache.misses == 1
+        assert cache.hits >= 1
+
+    def test_distinguishes_program_content(self, program):
+        cache = GoldenRunCache()
+        core = InOrderCore()
+        cache.get(core, program)
+        modified = replace(program, data=DataSegment(
+            base=program.data.base, words=list(program.data.words) + [99]))
+        cache.get(core, modified)
+        assert cache.misses == 2
+
+    def test_lru_eviction(self, program):
+        cache = GoldenRunCache(max_entries=1)
+        core = InOrderCore()
+        cache.get(core, program, interval=100)
+        cache.get(core, program, interval=200)
+        cache.get(core, program, interval=100)
+        assert cache.misses == 3
+        assert len(cache) == 1
