@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+from pathlib import Path
+
 
 def run_once(benchmark, func):
     """Run a benchmark payload exactly once and return its result.
@@ -10,3 +15,39 @@ def run_once(benchmark, func):
     repeated rounds would only slow it down without adding information.
     """
     return benchmark.pedantic(func, iterations=1, rounds=1)
+
+
+def bench_output_dir() -> Path:
+    """Directory benchmark result files are written to.
+
+    Defaults to the ``benchmarks/`` directory itself (so results are
+    committed alongside the harness and the perf trajectory is tracked
+    across PRs); override with ``BENCH_OUTPUT_DIR``.
+    """
+    override = os.environ.get("BENCH_OUTPUT_DIR")
+    return Path(override) if override else Path(__file__).resolve().parent
+
+
+def persist_bench(name: str, headers: list[str], rows: list[list],
+                  context: dict | None = None) -> Path:
+    """Write one benchmark's result table to ``BENCH_<name>.json``.
+
+    The payload is machine-readable (headers + rows + host context) so later
+    PRs can diff throughput numbers without re-parsing printed tables.
+    Returns the written path.
+    """
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    payload = {
+        "benchmark": name,
+        "headers": headers,
+        "rows": rows,
+        "context": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            **(context or {}),
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import time
 
-from _harness import run_once
+from _harness import persist_bench, run_once
 
 from repro.engine import EngineConfig, GoldenRunCache, InjectionEngine
 from repro.microarch import InOrderCore
@@ -65,8 +65,11 @@ def bench_engine_scaling(benchmark):
         return rows
 
     rows = run_once(benchmark, payload)
+    headers = ["strategy", "checkpoints", "wall time", "injections/s", "speedup"]
+    persist_bench("engine", headers, rows,
+                  context={"workload": WORKLOAD, "injections": INJECTIONS,
+                           "parallel_workers": PARALLEL_WORKERS})
     print()
     print(format_table(
         f"Engine scaling: {INJECTIONS} injections on {WORKLOAD} (InO-core)",
-        ["strategy", "checkpoints", "wall time", "injections/s", "speedup"],
-        rows))
+        headers, rows))

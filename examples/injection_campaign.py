@@ -14,12 +14,12 @@ below its injection cycle, and the plan is sharded over worker processes.
 With the same seed the engine reports statistics identical to a serial
 cycle-0 re-simulation loop.
 
-Run with:  python examples/injection_campaign.py  [injections] [workers]
+Run with:  python examples/injection_campaign.py [injections] [--workers N] [--seed S]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.core import ResilienceTarget, SelectionPolicy, SelectiveHardeningPlanner, sdc_improvement, due_improvement
@@ -31,16 +31,16 @@ from repro.resilience import ProtectedDesign, harden_top_flip_flops
 from repro.workloads import workload_by_name
 
 
-def main(injections: int = 150, workers: int = 2) -> None:
+def main(injections: int = 150, workers: int = 2, seed: int = 1) -> None:
     core = InOrderCore()
     workload = workload_by_name("histogram")
     program = workload.program()
     config = EngineConfig(workers=workers)
     print(f"Workload: {workload.name} ({workload.description})")
-    print(f"Engine: {workers} worker(s), adaptive checkpointing")
+    print(f"Engine: {workers} worker(s), adaptive checkpointing, seed {seed}")
 
     started = time.perf_counter()
-    baseline = InjectionEngine(core, program, seed=1, config=config).run(
+    baseline = InjectionEngine(core, program, seed=seed, config=config).run(
         injections=injections)
     checkpointed = GOLDEN_RUN_CACHE.get(core, program)
     print(f"\nGolden run: {checkpointed.golden.cycles} cycles, "
@@ -58,7 +58,7 @@ def main(injections: int = 150, workers: int = 2) -> None:
         registry=core.registry,
         hardening=harden_top_flip_flops(list(range(core.flip_flop_count)),
                                         core.flip_flop_count))
-    hardened_run = InjectionEngine(core, program, protection=hardened, seed=1,
+    hardened_run = InjectionEngine(core, program, protection=hardened, seed=seed,
                                    config=config).run(injections=injections)
 
     # Configuration 2: Heuristic-1 mix of parity + LEAP-DICE with flush recovery.
@@ -70,7 +70,7 @@ def main(injections: int = 150, workers: int = 2) -> None:
                                recovery=RecoveryKind.FLUSH,
                                policy=SelectionPolicy()).design
     cross_layer_run = InjectionEngine(core, program, protection=cross_layer,
-                                      seed=1, config=config).run(injections=injections)
+                                      seed=seed, config=config).run(injections=injections)
 
     for label, run, design in (("LEAP-DICE everywhere", hardened_run, hardened),
                                ("parity + LEAP-DICE + flush", cross_layer_run, cross_layer)):
@@ -89,5 +89,15 @@ def main(injections: int = 150, workers: int = 2) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150,
-         int(sys.argv[2]) if len(sys.argv) > 2 else 2)
+    parser = argparse.ArgumentParser(
+        description="Engine-backed injection campaign across three "
+                    "protection configurations")
+    parser.add_argument("injections", nargs="?", type=int, default=150,
+                        help="injections per protection configuration")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the parallel executor "
+                             "(1 = serial)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (same seed => identical statistics)")
+    args = parser.parse_args()
+    main(args.injections, workers=args.workers, seed=args.seed)

@@ -46,7 +46,7 @@ class ClearFramework:
 
     def __post_init__(self) -> None:
         if not self.workloads:
-            self.workloads = suite_for_core(self.core.name)
+            self.workloads = suite_for_core(self.core)
         self.placement = Placement(self.core.registry, seed=self.seed)
         self.timing = TimingModel(self.core.registry, seed=self.seed)
         self.cost_model = DesignCostModel(self.core.name, self.core.flip_flop_count)

@@ -7,7 +7,7 @@ the flip-flop registry and latch-state machinery that makes flip-flop-level
 fault injection possible.
 """
 
-from repro.microarch.core import BaseCore, CoreSnapshot, DEFAULT_MAX_CYCLES
+from repro.microarch.core import BaseCore, CoreClass, CoreSnapshot, DEFAULT_MAX_CYCLES
 from repro.microarch.events import (
     DetectionEvent,
     RunResult,
@@ -22,6 +22,7 @@ from repro.microarch.state import LatchState
 
 __all__ = [
     "BaseCore",
+    "CoreClass",
     "CoreSnapshot",
     "DEFAULT_MAX_CYCLES",
     "DetectionEvent",

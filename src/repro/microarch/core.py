@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
+from enum import Enum, unique
 from typing import Callable
 
 from repro.isa.program import Program
@@ -23,6 +24,19 @@ CycleHook = Callable[["BaseCore", int], None]
 
 DEFAULT_MAX_CYCLES = 2_000_000
 """Safety watchdog for golden (error-free) runs."""
+
+
+@unique
+class CoreClass(Enum):
+    """Microarchitectural class of a core model.
+
+    Workload-suite selection (``repro.workloads.suite.suite_for_core``) keys
+    off this attribute instead of pattern-matching core *names*, so renamed
+    or subclassed cores keep the correct benchmark subset.
+    """
+
+    IN_ORDER = "in-order"
+    OUT_OF_ORDER = "out-of-order"
 
 
 @dataclass
@@ -71,9 +85,10 @@ class BaseCore(ABC):
     documented counters (``_retired``) as instructions commit.
     """
 
-    def __init__(self, name: str, clock_mhz: float):
+    def __init__(self, name: str, clock_mhz: float, core_class: CoreClass):
         self.name = name
         self.clock_mhz = clock_mhz
+        self.core_class = core_class
         self.registry = FlipFlopRegistry(name)
         self.latches: LatchState | None = None
         self._program: Program | None = None

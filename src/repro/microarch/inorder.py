@@ -30,7 +30,7 @@ from repro.isa.instructions import Opcode, OPCODE_INFO
 from repro.isa.program import Program, WORD_BYTES
 from repro.isa.registers import NUM_REGISTERS
 from repro.microarch.branch_predictor import BimodalPredictor
-from repro.microarch.core import BaseCore
+from repro.microarch.core import BaseCore, CoreClass
 from repro.microarch.events import TerminationReason, TrapKind
 from repro.microarch.execute import ExecuteTrap, execute_operation
 from repro.microarch.memory import MemoryFault, MemorySystem
@@ -53,7 +53,8 @@ class InOrderCore(BaseCore):
     """Cycle-level model of the simple in-order core."""
 
     def __init__(self, name: str = "InO-core"):
-        super().__init__(name=name, clock_mhz=INO_CLOCK_MHZ)
+        super().__init__(name=name, clock_mhz=INO_CLOCK_MHZ,
+                         core_class=CoreClass.IN_ORDER)
         self._declare_state()
         self._finalize_state()
         self.memory = MemorySystem()

@@ -32,7 +32,7 @@ from repro.isa.encoding import EncodingError, decode_instruction, encode_instruc
 from repro.isa.instructions import Opcode, OPCODE_INFO
 from repro.isa.program import Program, WORD_BYTES
 from repro.isa.registers import NUM_REGISTERS
-from repro.microarch.core import BaseCore
+from repro.microarch.core import BaseCore, CoreClass
 from repro.microarch.events import TerminationReason, TrapKind
 from repro.microarch.execute import ExecuteTrap, execute_operation
 from repro.microarch.memory import MemoryFault, MemorySystem
@@ -80,7 +80,8 @@ class OutOfOrderCore(BaseCore):
     """Cycle-level model of the complex out-of-order core."""
 
     def __init__(self, name: str = "OoO-core"):
-        super().__init__(name=name, clock_mhz=OOO_CLOCK_MHZ)
+        super().__init__(name=name, clock_mhz=OOO_CLOCK_MHZ,
+                         core_class=CoreClass.OUT_OF_ORDER)
         self._declare_state()
         self._finalize_state()
         self.memory = MemorySystem()

@@ -1,19 +1,29 @@
 """Benchmark workloads for the CLEAR reproduction.
 
-18 programs (11 SPEC-class + 7 PERFECT-class) with Python reference models
-and, for the PERFECT kernels, ABFT-protected variants.  See
-:mod:`repro.workloads.base` for the workload data model and
-:mod:`repro.workloads.suite` for suite-level accessors.
+The fixed paper suite -- 18 programs (11 SPEC-class + 7 PERFECT-class) with
+Python reference models and, for the PERFECT kernels, ABFT-protected
+variants -- plus a workload registry that also serves parameterized
+*synthetic* scenario families (:mod:`repro.workloads.synthesis`): seeded,
+constrained-random programs whose golden outputs are derived from the ISA
+reference simulator.  See :mod:`repro.workloads.base` for the workload data
+model and :mod:`repro.workloads.suite` for registry and suite accessors.
 """
 
 from repro.workloads.base import AbftSupport, Workload, WorkloadClass, lcg_sequence
 from repro.workloads.suite import (
     abft_correction_suite,
     abft_detection_suite,
+    build_family,
+    family_names,
     full_suite,
     perfect_suite,
+    register_family,
+    register_suite,
     spec_suite,
     suite_for_core,
+    suite_names,
+    suite_workloads,
+    synthetic_suite,
     workload_by_name,
 )
 
@@ -24,9 +34,16 @@ __all__ = [
     "lcg_sequence",
     "abft_correction_suite",
     "abft_detection_suite",
+    "build_family",
+    "family_names",
     "full_suite",
     "perfect_suite",
+    "register_family",
+    "register_suite",
     "spec_suite",
     "suite_for_core",
+    "suite_names",
+    "suite_workloads",
+    "synthetic_suite",
     "workload_by_name",
 ]

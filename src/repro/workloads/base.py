@@ -31,6 +31,7 @@ class WorkloadClass(Enum):
 
     SPEC = "spec"
     PERFECT = "perfect"
+    SYNTHETIC = "synthetic"
 
 
 @unique

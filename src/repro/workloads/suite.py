@@ -1,58 +1,225 @@
-"""The benchmark suite used for reliability analysis.
+"""Workload registry and suite-level accessors.
 
-Provides registry-style access to the 18 workloads (11 SPEC-class + 7
-PERFECT-class) and the per-core sub-suites matching the paper's footnote 3
-(the OoO RTL model could only run 8 SPEC + 3 PERFECT benchmarks).
+Two kinds of workload sources live here:
+
+* **Static suites** -- fixed benchmark lists registered once at import time.
+  The paper's 18 benchmarks (11 SPEC-class + 7 PERFECT-class) are registered
+  as the ``"spec"`` and ``"perfect"`` suites and together form
+  :func:`full_suite`; per-core sub-suites follow the paper's footnote 3 (the
+  OoO RTL model could only run 8 SPEC + 3 PERFECT benchmarks).
+* **Workload families** -- parameterized generators (seed, member count,
+  profile overrides) producing unbounded sets of workloads.  The synthetic
+  scenario families of :mod:`repro.workloads.synthesis` register themselves
+  here, so campaign drivers can enumerate and build them uniformly.
+
+Name lookup is O(1) through a cached name index rebuilt whenever a new suite
+is registered.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from typing import Callable, Sequence
 
-from repro.workloads.base import AbftSupport, Workload, WorkloadClass
+from repro.microarch.core import BaseCore, CoreClass
+from repro.workloads.base import AbftSupport, Workload
 from repro.workloads.perfect import build_perfect_workloads
 from repro.workloads.spec import build_spec_workloads
 
+SuiteBuilder = Callable[[], Sequence[Workload]]
+"""Zero-argument builder returning the workloads of a static suite."""
 
-@lru_cache(maxsize=1)
+FamilyBuilder = Callable[..., Sequence[Workload]]
+"""Family builder with signature ``(seed, count, **overrides)``."""
+
+_SUITES: dict[str, SuiteBuilder] = {}
+_SUITE_CACHE: dict[str, tuple[Workload, ...]] = {}
+_IN_FULL_SUITE: list[str] = []
+_FAMILIES: dict[str, FamilyBuilder] = {}
+_NAME_INDEX: dict[str, Workload] | None = None
+
+
+# ---------------------------------------------------------------------- registry
+def register_suite(name: str, builder: SuiteBuilder,
+                   in_full_suite: bool = False) -> None:
+    """Register a static workload suite under ``name``.
+
+    ``in_full_suite`` adds the suite's workloads to :func:`full_suite` (and
+    the per-core sub-suites); registration invalidates the name index so
+    :func:`workload_by_name` sees the new workloads.
+
+    Raises:
+        ValueError: if ``name`` is already registered.
+    """
+    global _NAME_INDEX
+    if name in _SUITES:
+        raise ValueError(f"suite {name!r} is already registered")
+    _SUITES[name] = builder
+    if in_full_suite:
+        _IN_FULL_SUITE.append(name)
+    _NAME_INDEX = None
+
+
+def register_family(name: str, builder: FamilyBuilder) -> None:
+    """Register a parameterized workload family under ``name``.
+
+    The built-in families are loaded first, so user registrations can never
+    race them (which keeps ``family_names()`` order -- and therefore derived
+    sweep seeds -- stable) and name collisions are detected immediately.
+    During the built-in load itself the synthesis module is mid-import and
+    the ensure call is a no-op.
+
+    Raises:
+        ValueError: if ``name`` is already registered.
+    """
+    _ensure_families_loaded()
+    if name in _FAMILIES:
+        raise ValueError(f"workload family {name!r} is already registered")
+    _FAMILIES[name] = builder
+
+
+def suite_names() -> list[str]:
+    """Names of all registered static suites, in registration order."""
+    return list(_SUITES)
+
+
+def family_names() -> list[str]:
+    """Names of all registered workload families, in registration order."""
+    _ensure_families_loaded()
+    return list(_FAMILIES)
+
+
+def suite_workloads(name: str) -> list[Workload]:
+    """The workloads of a registered static suite.
+
+    (Named ``suite_workloads`` rather than ``suite`` so the accessor can be
+    exported from :mod:`repro.workloads` without shadowing this submodule.)
+
+    Raises:
+        KeyError: if no suite with that name is registered.
+    """
+    if name not in _SUITES:
+        raise KeyError(f"unknown suite: {name!r} (registered: {suite_names()})")
+    if name not in _SUITE_CACHE:
+        _SUITE_CACHE[name] = tuple(_SUITES[name]())
+    return list(_SUITE_CACHE[name])
+
+
+def build_family(name: str, seed: int = 2016, count: int = 4,
+                 **overrides) -> list[Workload]:
+    """Build ``count`` members of a registered family from ``seed``.
+
+    ``overrides`` are forwarded to the family builder (synthetic families
+    accept :class:`~repro.workloads.synthesis.profile.WorkloadProfile` field
+    overrides such as ``target_cycles``).
+
+    Raises:
+        KeyError: if no family with that name is registered.
+    """
+    _ensure_families_loaded()
+    if name not in _FAMILIES:
+        raise KeyError(f"unknown workload family: {name!r} "
+                       f"(registered: {family_names()})")
+    return list(_FAMILIES[name](seed=seed, count=count, **overrides))
+
+
+def _ensure_families_loaded() -> None:
+    # The synthesis package registers its scenario families at import time;
+    # import it lazily so suite lookup does not pay for generator machinery.
+    import repro.workloads.synthesis  # noqa: F401  (registration side effect)
+
+
 def _all_workloads() -> tuple[Workload, ...]:
-    return tuple(build_spec_workloads() + build_perfect_workloads())
+    return tuple(w for name in _IN_FULL_SUITE for w in suite_workloads(name))
 
 
+def _name_index() -> dict[str, Workload]:
+    global _NAME_INDEX
+    if _NAME_INDEX is None:
+        index: dict[str, Workload] = {}
+        for suite_name in _SUITES:
+            for workload in suite_workloads(suite_name):
+                if workload.name in index:
+                    raise ValueError(f"duplicate workload name {workload.name!r} "
+                                     f"registered by suite {suite_name!r}")
+                index[workload.name] = workload
+        _NAME_INDEX = index
+    return _NAME_INDEX
+
+
+# ---------------------------------------------------------------------- accessors
 def full_suite() -> list[Workload]:
-    """All 18 workloads in suite order (SPEC first, PERFECT second)."""
+    """All 18 paper workloads in suite order (SPEC first, PERFECT second)."""
     return list(_all_workloads())
 
 
 def workload_by_name(name: str) -> Workload:
-    """Look a workload up by name.
+    """Look a workload up by name (O(1) through the cached name index).
 
     Raises:
         KeyError: if no workload with that name exists.
     """
-    for workload in _all_workloads():
-        if workload.name == name:
-            return workload
-    raise KeyError(f"unknown workload: {name!r}")
+    try:
+        return _name_index()[name]
+    except KeyError:
+        raise KeyError(f"unknown workload: {name!r}") from None
 
 
 def spec_suite() -> list[Workload]:
     """The eleven SPEC-class workloads."""
-    return [w for w in _all_workloads() if w.suite is WorkloadClass.SPEC]
+    return suite_workloads("spec")
 
 
 def perfect_suite() -> list[Workload]:
     """The seven PERFECT-class workloads."""
-    return [w for w in _all_workloads() if w.suite is WorkloadClass.PERFECT]
+    return suite_workloads("perfect")
 
 
-def suite_for_core(core_name: str) -> list[Workload]:
+def synthetic_suite(seed: int = 2016, per_family: int = 4,
+                    **overrides) -> list[Workload]:
+    """One seeded synthetic suite: ``per_family`` members of every family.
+
+    With the five built-in scenario families and the default ``per_family``
+    this yields a 20-workload suite; family ``i`` derives its members from
+    ``seed`` so the whole suite is reproducible from one integer.
+    """
+    workloads: list[Workload] = []
+    for name in family_names():
+        workloads.extend(build_family(name, seed=seed, count=per_family,
+                                      **overrides))
+    return workloads
+
+
+_CORE_NAME_TO_CLASS = {
+    "ino-core": CoreClass.IN_ORDER,
+    "ooo-core": CoreClass.OUT_OF_ORDER,
+}
+"""Default core names, kept for string-based lookups from old call sites."""
+
+
+def suite_for_core(core: BaseCore | CoreClass | str) -> list[Workload]:
     """Workloads runnable on a given core.
 
     The in-order core runs the full suite; the out-of-order core runs the
-    reduced 8 SPEC + 3 PERFECT subset, as in the paper.
+    reduced 8 SPEC + 3 PERFECT subset, as in the paper.  ``core`` may be a
+    :class:`~repro.microarch.core.BaseCore` instance (preferred -- its
+    ``core_class`` attribute decides), a :class:`CoreClass`, or one of the
+    default core names (``"InO-core"``/``"OoO-core"``).
+
+    Raises:
+        KeyError: for an unrecognised core name string.
     """
-    if "ooo" in core_name.lower() or "out" in core_name.lower():
+    if isinstance(core, BaseCore):
+        core_class = core.core_class
+    elif isinstance(core, CoreClass):
+        core_class = core
+    else:
+        try:
+            core_class = _CORE_NAME_TO_CLASS[core.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown core name {core!r}; pass the core object (or a "
+                f"CoreClass) for cores with custom names") from None
+    if core_class is CoreClass.OUT_OF_ORDER:
         return [w for w in _all_workloads() if w.ooo_compatible]
     return list(_all_workloads())
 
@@ -65,3 +232,7 @@ def abft_correction_suite() -> list[Workload]:
 def abft_detection_suite() -> list[Workload]:
     """Workloads whose algorithm admits ABFT detection (but not correction)."""
     return [w for w in _all_workloads() if w.abft is AbftSupport.DETECTION]
+
+
+register_suite("spec", build_spec_workloads, in_full_suite=True)
+register_suite("perfect", build_perfect_workloads, in_full_suite=True)

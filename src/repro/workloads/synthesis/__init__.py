@@ -1,0 +1,49 @@
+"""Synthetic workload generation.
+
+A seeded, constrained-random program generator that turns the fixed
+18-benchmark suite into an unbounded scenario space:
+
+* :mod:`repro.workloads.synthesis.profile` -- :class:`WorkloadProfile`, the
+  generator's specification (instruction mix, loop-nest shape, data size,
+  cycle budget);
+* :mod:`repro.workloads.synthesis.generator` -- the structured program
+  synthesizer (valid, trap-free, observable-by-construction kernels);
+* :mod:`repro.workloads.synthesis.families` -- named scenario families with
+  golden outputs derived from the ISA reference simulator, registered with
+  the workload registry at import;
+* :mod:`repro.workloads.synthesis.sweep` -- per-profile vulnerability sweeps
+  through the checkpointed parallel injection engine.
+"""
+
+from repro.workloads.synthesis.profile import InstructionMix, WorkloadProfile
+from repro.workloads.synthesis.generator import (
+    GeneratedProgram,
+    ProgramSynthesizer,
+    SynthesisError,
+)
+from repro.workloads.synthesis.families import (
+    BUILTIN_PROFILES,
+    build_profile_family,
+    derive_golden_output,
+    synthesize_workload,
+)
+from repro.workloads.synthesis.sweep import (
+    ProfileVulnerability,
+    SyntheticSweepResult,
+    run_synthetic_sweep,
+)
+
+__all__ = [
+    "InstructionMix",
+    "WorkloadProfile",
+    "GeneratedProgram",
+    "ProgramSynthesizer",
+    "SynthesisError",
+    "BUILTIN_PROFILES",
+    "build_profile_family",
+    "derive_golden_output",
+    "synthesize_workload",
+    "ProfileVulnerability",
+    "SyntheticSweepResult",
+    "run_synthetic_sweep",
+]

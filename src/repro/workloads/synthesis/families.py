@@ -1,0 +1,128 @@
+"""Named scenario families and fully-automatic Workload construction.
+
+:func:`synthesize_workload` closes the loop the hand-written suite leaves
+open: instead of pairing each assembly program with a hand-written Python
+reference model, the golden output is derived by running the generated
+program through the ISA reference simulator
+(:class:`repro.isa.simulator.FunctionalSimulator`).  The cycle-level cores
+are independently verified against that same simulator, so the derived
+golden stream is a sound SDC oracle -- and workload construction becomes a
+pure function of (profile, seed).
+
+Five built-in scenario families ship here and register themselves with the
+workload registry (:mod:`repro.workloads.suite`):
+
+==================  ========================================================
+family              scenario
+==================  ========================================================
+control_heavy       deep loop nests, frequent data-dependent branches
+memory_streaming    load/store dominated, large data section
+arithmetic_dense    long arithmetic chains, few branches
+branch_chaotic      branch-saturated bodies on near-random data
+mixed               balanced mix of all operation classes
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.simulator import FunctionalSimulator
+from repro.workloads.base import Workload, WorkloadClass
+from repro.workloads.suite import register_family
+from repro.workloads.synthesis.generator import ProgramSynthesizer, SynthesisError
+from repro.workloads.synthesis.profile import InstructionMix, WorkloadProfile
+
+_MEMBER_SEED_STRIDE = 10_007
+"""Stride separating the derived seeds of one family's members."""
+
+_ORACLE_INSTRUCTION_LIMIT = 4_000_000
+
+BUILTIN_PROFILES: dict[str, WorkloadProfile] = {
+    "control_heavy": WorkloadProfile(
+        name="control_heavy",
+        mix=InstructionMix(arithmetic=1.5, memory=0.5, branch=3.0, shift=0.5),
+        loop_depth=3, data_words=32, target_cycles=4000, ops_per_block=10),
+    "memory_streaming": WorkloadProfile(
+        name="memory_streaming",
+        mix=InstructionMix(arithmetic=1.0, memory=4.0, branch=0.5, shift=0.5),
+        loop_depth=2, data_words=256, target_cycles=4000, ops_per_block=12,
+        store_fraction=0.4),
+    "arithmetic_dense": WorkloadProfile(
+        name="arithmetic_dense",
+        mix=InstructionMix(arithmetic=5.0, memory=0.5, branch=0.3, shift=1.2),
+        loop_depth=1, data_words=32, target_cycles=4000, ops_per_block=16),
+    "branch_chaotic": WorkloadProfile(
+        name="branch_chaotic",
+        mix=InstructionMix(arithmetic=0.8, memory=0.8, branch=4.0, shift=0.4),
+        loop_depth=2, data_words=64, target_cycles=4000, ops_per_block=8),
+    "mixed": WorkloadProfile(
+        name="mixed",
+        mix=InstructionMix(arithmetic=1.0, memory=1.0, branch=1.0, shift=1.0),
+        loop_depth=2, data_words=64, target_cycles=4000, ops_per_block=12),
+}
+
+
+def derive_golden_output(source: str, name: str = "synthetic") -> list[int]:
+    """Golden output of an assembly program via the reference simulator.
+
+    Raises:
+        SynthesisError: if the program does not run to a clean ``halt`` (a
+            generator-invariant violation, never an expected outcome).
+    """
+    program = assemble(source, name=name)
+    result = FunctionalSimulator(
+        max_instructions=_ORACLE_INSTRUCTION_LIMIT).run(program).result
+    if not result.halted or result.trap is not None:
+        raise SynthesisError(
+            f"generated program {name!r} violated construction invariants: "
+            f"halted={result.halted} trap={result.trap} "
+            f"after {result.instructions} instructions")
+    if not result.output:
+        raise SynthesisError(f"generated program {name!r} produced no output")
+    return result.output
+
+
+def synthesize_workload(profile: WorkloadProfile, seed: int = 2016,
+                        name: str | None = None) -> Workload:
+    """Generate one workload: program synthesis + simulator-derived oracle."""
+    generated = ProgramSynthesizer(profile, seed=seed).generate()
+    workload_name = name or f"syn_{profile.name}_{seed}"
+    golden = derive_golden_output(generated.source, name=workload_name)
+    return Workload(
+        name=workload_name,
+        suite=WorkloadClass.SYNTHETIC,
+        source=generated.source,
+        reference=lambda: list(golden),
+        ooo_compatible=True,
+        description=(f"synthetic {profile.name} kernel (seed {seed}, "
+                     f"loops {'x'.join(map(str, generated.loop_trips))}, "
+                     f"{generated.body_operations} body ops)"),
+    )
+
+
+def build_profile_family(profile: WorkloadProfile, seed: int = 2016,
+                         count: int = 4, **overrides) -> list[Workload]:
+    """Build ``count`` members of one family from a single seed.
+
+    Member ``i`` uses seed ``seed + i * stride``; ``overrides`` evolve the
+    profile first (e.g. ``target_cycles=1000`` for quick campaigns).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if overrides:
+        profile = profile.evolve(**overrides)
+    return [synthesize_workload(
+                profile, seed=seed + index * _MEMBER_SEED_STRIDE,
+                name=f"syn_{profile.name}_{seed}_{index:02d}")
+            for index in range(count)]
+
+
+def _register_builtin_families() -> None:
+    for family_name, profile in BUILTIN_PROFILES.items():
+        def builder(seed: int = 2016, count: int = 4,
+                    _profile: WorkloadProfile = profile, **overrides):
+            return build_profile_family(_profile, seed=seed, count=count, **overrides)
+        register_family(family_name, builder)
+
+
+_register_builtin_families()

@@ -1,0 +1,253 @@
+"""Constrained-random program synthesis.
+
+:class:`ProgramSynthesizer` turns a (:class:`WorkloadProfile`, seed) pair
+into one valid assembly program.  The construction is *structured*, not
+free-form instruction soup, so every generated program is correct by
+construction:
+
+* the skeleton is a counted loop nest (depth and trip counts derived from the
+  profile's cycle budget) over an LCG-filled data section;
+* loop bodies are drawn from four operation classes -- arithmetic, memory,
+  data-dependent forward branches, shifts -- with relative frequencies given
+  by the profile's instruction mix;
+* every operation folds its result into one of four checksum accumulator
+  registers, loop counters are folded each iteration, and an epilogue reduces
+  the whole data section into a final checksum before emitting all
+  accumulators via ``out`` -- so stores, address computations and control
+  flow all feed the output stream and injected bit-flips stay observable;
+* memory indices are masked into the (power-of-two sized) data section, shift
+  amounts are bounded, and ``div``/``rem`` are never drawn, so no generated
+  program can trap.
+
+Termination is guaranteed because loop counters and bounds live in reserved
+registers that body operations only read, and every generated branch is a
+forward skip within one body.
+
+The generator is deterministic: the same profile and seed produce the same
+source text (and therefore identical program bytes and golden output) on any
+platform and in any process -- a property the parallel injection engine's
+bit-exactness guarantee builds on.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.workloads.base import lcg_sequence, words_directive
+from repro.workloads.synthesis.profile import (
+    EPILOGUE_INSTRUCTIONS_PER_WORD,
+    ESTIMATED_CPI,
+    WorkloadProfile,
+)
+
+# Register allocation contract of generated programs.  Loop machinery owns
+# its registers exclusively; body operations may read counters but write only
+# accumulators and scratch.
+DATA_POINTER = "a0"
+LOOP_COUNTERS = ("t0", "t1", "t2")
+LOOP_BOUNDS = ("a1", "a2", "a3")
+ACCUMULATORS = ("s0", "s1", "s2", "s3")
+SCRATCH = ("t3", "t4", "t5", "t6")
+ADDRESS_TEMP = "s6"
+VALUE_TEMP = "s7"
+
+_MAX_OUTER_TRIPS = 4096
+_MAX_INNER_TRIPS = 32768
+"""Trip-count caps.  The innermost level carries most of the iteration
+budget (outer levels are sized to the depth-th root), so it gets the larger
+cap; together with ``MAX_TARGET_CYCLES`` these keep every generated program
+well under the oracle simulator's instruction limit and the engine's
+golden-run watchdog."""
+
+_DATA_VALUE_MODULUS = 1 << 16
+
+
+class SynthesisError(RuntimeError):
+    """Raised when a generated program violates the construction invariants."""
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """The synthesizer's output: source text plus derived loop shape."""
+
+    name: str
+    source: str
+    loop_trips: tuple[int, ...]
+    body_operations: int
+
+
+class ProgramSynthesizer:
+    """Emits one assembly program for a (profile, seed) pair."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 2016):
+        self.profile = profile
+        self.seed = seed
+
+    def generate(self) -> GeneratedProgram:
+        """Synthesize the program (deterministic in profile and seed)."""
+        profile = self.profile
+        # Mix the full profile name into the seed (crc32, not hash(): the
+        # latter is randomized per process) so distinct families never share
+        # an RNG stream even when generated from the same seed.
+        rng = random.Random((self.seed * 1_000_003)
+                            ^ zlib.crc32(profile.name.encode()))
+        data = lcg_sequence(profile.data_words,
+                            seed=rng.randrange(1, 1 << 31),
+                            modulus=_DATA_VALUE_MODULUS)
+        body, body_length = self._generate_body(rng)
+        trips = self._loop_trips(body_length)
+        lines: list[str] = ["    .data", "vals:", words_directive(data),
+                            "    .text", "main:",
+                            f"    la {DATA_POINTER}, vals"]
+        for acc in ACCUMULATORS:
+            lines.append(f"    li {acc}, {rng.randrange(_DATA_VALUE_MODULUS)}")
+        for level, trip in enumerate(trips):
+            lines.append(f"    li {LOOP_BOUNDS[level]}, {trip}")
+        lines.extend(self._loop_nest(trips, body))
+        lines.extend(self._epilogue())
+        return GeneratedProgram(name=profile.name, source="\n".join(lines) + "\n",
+                                loop_trips=trips, body_operations=len(body))
+
+    # ------------------------------------------------------------------ structure
+    def _loop_trips(self, body_length: int) -> tuple[int, ...]:
+        """Trip counts sizing the nest to the profile's cycle budget."""
+        profile = self.profile
+        depth = profile.loop_depth
+        # Per innermost iteration: the body, one counter fold per level, and
+        # the innermost increment + back-branch.
+        per_iteration = body_length + depth + 2
+        # Fixed cost outside the nest: prologue (la + li expansions), the
+        # data-section reduction epilogue, outs, halt.  Budgets below this
+        # floor yield floor-sized programs (see WorkloadProfile.floor_cycles).
+        fixed = (2 + 2 * len(ACCUMULATORS) + 2 * depth + 4
+                 + EPILOGUE_INSTRUCTIONS_PER_WORD * profile.data_words
+                 + len(ACCUMULATORS) + 1)
+        target_instructions = max(
+            float(per_iteration),
+            profile.target_cycles / ESTIMATED_CPI - fixed)
+        total = max(1, round(target_instructions / per_iteration))
+        base = max(2, round(total ** (1.0 / depth)))
+        trips = [min(base, _MAX_OUTER_TRIPS)] * (depth - 1)
+        outer = 1
+        for trip in trips:
+            outer *= trip
+        innermost = max(1, min(round(total / outer), _MAX_INNER_TRIPS))
+        trips.append(innermost)
+        return tuple(trips)
+
+    def _loop_nest(self, trips: tuple[int, ...], body: list[str]) -> list[str]:
+        depth = len(trips)
+        lines: list[str] = []
+        for level in range(depth):
+            lines.append(f"    li {LOOP_COUNTERS[level]}, 0")
+            lines.append(f"loop{level}:")
+        lines.extend(body)
+        # Fold every live loop counter into an accumulator so counter-register
+        # corruption surfaces in the output stream, not only via control flow.
+        for level in range(depth):
+            lines.append(f"    add s1, s1, {LOOP_COUNTERS[level]}")
+        for level in reversed(range(depth)):
+            counter, bound = LOOP_COUNTERS[level], LOOP_BOUNDS[level]
+            lines.append(f"    addi {counter}, {counter}, 1")
+            lines.append(f"    blt {counter}, {bound}, loop{level}")
+        return lines
+
+    def _epilogue(self) -> list[str]:
+        """Reduce the data section into s3, then emit every accumulator."""
+        lines = [
+            "    li t0, 0",
+            f"    li a1, {self.profile.data_words}",
+            "redloop:",
+            f"    slli {ADDRESS_TEMP}, t0, 2",
+            f"    add {ADDRESS_TEMP}, {DATA_POINTER}, {ADDRESS_TEMP}",
+            f"    lw {VALUE_TEMP}, 0({ADDRESS_TEMP})",
+            f"    add s3, s3, {VALUE_TEMP}",
+            "    addi t0, t0, 1",
+            "    blt t0, a1, redloop",
+        ]
+        lines.extend(f"    out {acc}" for acc in ACCUMULATORS)
+        lines.append("    halt")
+        return lines
+
+    # ------------------------------------------------------------------ body
+    def _generate_body(self, rng: random.Random) -> tuple[list[str], int]:
+        """Draw the innermost loop body; returns (lines, instruction count)."""
+        emitters = (self._op_arithmetic, self._op_memory, self._op_branch,
+                    self._op_shift)
+        weights = self.profile.mix.as_weights()
+        lines: list[str] = []
+        instructions = 0
+        self._skip_labels = 0
+        for _ in range(self.profile.ops_per_block):
+            emit = rng.choices(emitters, weights=weights, k=1)[0]
+            op_lines, op_count = emit(rng)
+            lines.extend(op_lines)
+            instructions += op_count
+        return lines, instructions
+
+    def _source_register(self, rng: random.Random) -> str:
+        """A register safe to *read* in a body operation."""
+        counters = LOOP_COUNTERS[:self.profile.loop_depth]
+        pool = ACCUMULATORS + SCRATCH + counters
+        return rng.choice(pool)
+
+    def _op_arithmetic(self, rng: random.Random) -> tuple[list[str], int]:
+        acc = rng.choice(ACCUMULATORS)
+        variant = rng.randrange(4)
+        if variant == 0:
+            op = rng.choice(("add", "sub", "xor"))
+            return [f"    {op} {acc}, {acc}, {self._source_register(rng)}"], 1
+        if variant == 1:
+            return [f"    addi {acc}, {acc}, {rng.randrange(-1024, 1025)}"], 1
+        if variant == 2:
+            scratch = rng.choice(SCRATCH)
+            return [f"    mul {scratch}, {self._source_register(rng)}, "
+                    f"{self._source_register(rng)}",
+                    f"    add {acc}, {acc}, {scratch}"], 2
+        scratch = rng.choice(SCRATCH)
+        op = rng.choice(("and", "or"))
+        return [f"    {op} {scratch}, {self._source_register(rng)}, "
+                f"{self._source_register(rng)}",
+                f"    xor {acc}, {acc}, {scratch}"], 2
+
+    def _op_shift(self, rng: random.Random) -> tuple[list[str], int]:
+        scratch = rng.choice(SCRATCH)
+        acc = rng.choice(ACCUMULATORS)
+        op = rng.choice(("slli", "srli", "srai"))
+        amount = rng.randrange(1, 5)
+        fold = rng.choice(("add", "xor"))
+        return [f"    {op} {scratch}, {self._source_register(rng)}, {amount}",
+                f"    {fold} {acc}, {acc}, {scratch}"], 2
+
+    def _op_memory(self, rng: random.Random) -> tuple[list[str], int]:
+        mask = self.profile.data_words - 1
+        index = self._source_register(rng)
+        lines = [f"    andi {ADDRESS_TEMP}, {index}, {mask}",
+                 f"    slli {ADDRESS_TEMP}, {ADDRESS_TEMP}, 2",
+                 f"    add {ADDRESS_TEMP}, {DATA_POINTER}, {ADDRESS_TEMP}"]
+        if rng.random() < self.profile.store_fraction:
+            lines.append(f"    sw {rng.choice(ACCUMULATORS)}, 0({ADDRESS_TEMP})")
+        else:
+            acc = rng.choice(ACCUMULATORS)
+            fold = rng.choice(("add", "xor"))
+            lines.append(f"    lw {VALUE_TEMP}, 0({ADDRESS_TEMP})")
+            lines.append(f"    {fold} {acc}, {acc}, {VALUE_TEMP}")
+        return lines, len(lines)
+
+    def _op_branch(self, rng: random.Random) -> tuple[list[str], int]:
+        """A data-dependent forward skip over one or two filler operations."""
+        label = f"skip{self._skip_labels}"
+        self._skip_labels += 1
+        tested = self._source_register(rng)
+        mask = rng.randrange(1, 8)
+        branch = rng.choice(("beq", "bne"))
+        lines = [f"    andi {VALUE_TEMP}, {tested}, {mask}",
+                 f"    {branch} {VALUE_TEMP}, zero, {label}"]
+        for _ in range(rng.randrange(1, 3)):
+            acc = rng.choice(ACCUMULATORS)
+            op = rng.choice(("add", "xor", "sub"))
+            lines.append(f"    {op} {acc}, {acc}, {self._source_register(rng)}")
+        lines.append(f"{label}:")
+        return lines, len(lines) - 1

@@ -1,0 +1,127 @@
+"""Workload profiles: the constrained-random generator's specification.
+
+A :class:`WorkloadProfile` pins down everything the program synthesizer may
+randomise -- instruction mix, loop-nest shape, data-section size and a target
+cycle budget -- so that one (profile, seed) pair always denotes exactly one
+program.  Profiles are immutable value objects; derive variants with
+:meth:`WorkloadProfile.evolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MIN_DATA_WORDS = 8
+MAX_DATA_WORDS = 4096
+MAX_LOOP_DEPTH = 3
+MIN_TARGET_CYCLES = 200
+MAX_TARGET_CYCLES = 1_000_000
+"""Upper cycle-budget bound, comfortably under the engine's 2M-cycle
+golden-run watchdog and the oracle simulator's instruction limit."""
+
+EPILOGUE_INSTRUCTIONS_PER_WORD = 6
+"""Instructions the generated data-section reduction epilogue executes per
+data word (address computation, load, fold, counter, branch)."""
+
+ESTIMATED_CPI = 3.0
+"""Rough in-order-core cycles-per-instruction used to size loop bounds.
+
+The InO-core resolves hazards by scoreboard stalls and branches at execute,
+so generated kernels (short dependence chains, taken back-branches) run at
+roughly 3 cycles per instruction; the synthesizer only needs the cycle
+budget to be approximate (it controls campaign cost, not semantics).
+"""
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Relative weights of the four body-operation classes.
+
+    Weights are relative, not normalised -- ``InstructionMix(2, 1, 1, 0)``
+    draws arithmetic twice as often as memory or branch operations and never
+    draws shifts.  At least one weight must be positive.
+    """
+
+    arithmetic: float = 1.0
+    memory: float = 1.0
+    branch: float = 1.0
+    shift: float = 1.0
+
+    def __post_init__(self) -> None:
+        weights = self.as_weights()
+        if any(w < 0 for w in weights):
+            raise ValueError(f"instruction-mix weights must be >= 0: {self}")
+        if sum(weights) <= 0:
+            raise ValueError("instruction mix needs at least one positive weight")
+
+    def as_weights(self) -> tuple[float, float, float, float]:
+        """Weights in the fixed draw order (arithmetic, memory, branch, shift)."""
+        return (self.arithmetic, self.memory, self.branch, self.shift)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Specification of one synthetic-workload family member.
+
+    Attributes:
+        name: profile (scenario family) name; workload names derive from it.
+        mix: relative instruction-class weights for loop-body operations.
+        loop_depth: loop-nest depth (1..3); iteration counts are derived from
+            ``target_cycles``.
+        data_words: data-section size in 32-bit words (power of two, so
+            generated addresses can be masked into range).
+        target_cycles: approximate golden-run cycle budget on the in-order
+            core.  The synthesizer sizes loop bounds against
+            :data:`ESTIMATED_CPI`; the achieved count typically lands within
+            a small factor of the budget, but never below
+            :attr:`floor_cycles` -- the prologue plus the data-section
+            reduction epilogue are a fixed cost, so budgets below the floor
+            produce floor-sized programs (check ``floor_cycles`` when
+            sweeping small budgets over large data sections).
+        ops_per_block: operations drawn per innermost loop body.
+        store_fraction: fraction of memory operations that are stores (the
+            rest are loads).  Stored words stay observable: the generated
+            epilogue reduces the whole data section into an output checksum.
+    """
+
+    name: str
+    mix: InstructionMix = InstructionMix()
+    loop_depth: int = 2
+    data_words: int = 64
+    target_cycles: int = 4000
+    ops_per_block: int = 12
+    store_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if not 1 <= self.loop_depth <= MAX_LOOP_DEPTH:
+            raise ValueError(f"loop_depth must be 1..{MAX_LOOP_DEPTH}, "
+                             f"got {self.loop_depth}")
+        if (self.data_words < MIN_DATA_WORDS or self.data_words > MAX_DATA_WORDS
+                or self.data_words & (self.data_words - 1)):
+            raise ValueError(f"data_words must be a power of two in "
+                             f"[{MIN_DATA_WORDS}, {MAX_DATA_WORDS}], "
+                             f"got {self.data_words}")
+        if not MIN_TARGET_CYCLES <= self.target_cycles <= MAX_TARGET_CYCLES:
+            raise ValueError(f"target_cycles must be in [{MIN_TARGET_CYCLES}, "
+                             f"{MAX_TARGET_CYCLES}], got {self.target_cycles}")
+        if self.ops_per_block < 1:
+            raise ValueError("ops_per_block must be >= 1")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+
+    @property
+    def floor_cycles(self) -> int:
+        """Lower bound on achievable golden-run cycles for this profile.
+
+        The data-section reduction epilogue alone executes
+        ``EPILOGUE_INSTRUCTIONS_PER_WORD * data_words`` instructions, so no
+        ``target_cycles`` below this floor is reachable.
+        """
+        fixed_instructions = EPILOGUE_INSTRUCTIONS_PER_WORD * self.data_words + 24
+        return int(ESTIMATED_CPI * fixed_instructions)
+
+    def evolve(self, **overrides) -> "WorkloadProfile":
+        """A copy of this profile with ``overrides`` applied (re-validated)."""
+        return replace(self, **overrides)
