@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from _harness import run_once
 
-from repro.core import combination_counts, enumerate_combinations, total_combination_count
+from repro.core import (
+    combination_counts,
+    enumerate_combinations,
+    shard_combinations,
+    total_combination_count,
+)
 from repro.reporting import format_table
 
 
@@ -14,6 +19,11 @@ def bench_table18_combination_counts(benchmark):
         for family in ("InO", "OoO"):
             counts = combination_counts(family)
             assert len(enumerate_combinations(family)) == counts["total"]
+            # The exploration engine shards this exact pool; the shards must
+            # partition it.
+            shards = shard_combinations(counts["total"], workers=4)
+            assert sorted(i for s in shards for i in s.combination_indices) \
+                == list(range(counts["total"]))
             rows.append([family, counts["base_no_recovery"], counts["base_flush_rob"],
                          counts["base_ir_eir"], counts["abft_alone"],
                          counts["abft_correction_plus"], counts["abft_detection_plus"],

@@ -1,4 +1,4 @@
-"""Benchmark-dependence analysis (Sec. 4 of the paper)."""
+"""Analysis tools: benchmark dependence (Sec. 4) and Pareto frontiers."""
 
 from repro.analysis.benchmark_dependence import (
     BenchmarkDependenceStudy,
@@ -7,6 +7,7 @@ from repro.analysis.benchmark_dependence import (
     make_splits,
     paired_p_value,
 )
+from repro.analysis.pareto import ParetoFrontier, ParetoPoint
 from repro.analysis.similarity import benchmark_deciles, subset_similarity
 
 __all__ = [
@@ -15,6 +16,8 @@ __all__ = [
     "TrainValidateSplit",
     "make_splits",
     "paired_p_value",
+    "ParetoFrontier",
+    "ParetoPoint",
     "benchmark_deciles",
     "subset_similarity",
 ]

@@ -6,7 +6,15 @@ from repro.core.combinations import (
     enumerate_combinations,
     total_combination_count,
 )
-from repro.core.exploration import CrossLayerExplorer, EvaluatedDesign
+from repro.core.exploration import (
+    CrossLayerExplorer,
+    EvaluatedDesign,
+    ExplorationRecord,
+    ExplorationShard,
+    ExplorationSpec,
+    high_level_descriptor,
+    shard_combinations,
+)
 from repro.core.framework import ClearFramework
 from repro.core.heuristics import (
     LowLevelChoice,
@@ -25,6 +33,7 @@ from repro.core.improvement import (
     sdc_improvement,
     sdc_targets,
 )
+from repro.core.schedule import ProtectionSchedule, ScheduleStep
 
 __all__ = [
     "CrossLayerCombination",
@@ -33,11 +42,18 @@ __all__ = [
     "total_combination_count",
     "CrossLayerExplorer",
     "EvaluatedDesign",
+    "ExplorationRecord",
+    "ExplorationShard",
+    "ExplorationSpec",
+    "high_level_descriptor",
+    "shard_combinations",
     "ClearFramework",
     "LowLevelChoice",
     "SelectionPolicy",
     "SelectiveHardeningPlanner",
     "SelectiveHardeningResult",
+    "ProtectionSchedule",
+    "ScheduleStep",
     "choose_technique",
     "MAX_TARGET",
     "ResilienceTarget",

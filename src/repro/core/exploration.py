@@ -7,12 +7,37 @@ techniques first and then selectively adding tunable circuit/logic protection
 per the Fig. 7 methodology -- and reports its cost and achieved improvement.
 This is the machinery behind Tables 17, 19, 20, 21 and Figures 1(d), 9
 and 10.
+
+The engine is *incremental and streaming*:
+
+* tunable combinations are answered from cached
+  :class:`~repro.core.schedule.ProtectionSchedule` prefix schedules (one
+  Fig. 7 walk per (policy, recovery, high-level set), any number of
+  targets);
+* non-tunable combinations are target-independent, so their design, Eq. 1
+  estimate and cost are computed once and reused across the target sweep;
+* high-level :class:`TechniqueDescriptor`s are immutable and constructed
+  once per process (:func:`high_level_descriptor`), not per evaluation;
+* large sweeps shard the combination pool over the engine's pluggable
+  Serial/ProcessPool executors (:meth:`CrossLayerExplorer.stream_records`)
+  and stream lightweight :class:`ExplorationRecord` aggregates back, which
+  feed the dominance-pruned :class:`~repro.analysis.pareto.ParetoFrontier`;
+* :meth:`CrossLayerExplorer.cheapest_meeting_target` orders candidates by
+  their fixed-cost energy lower bound and stops as soon as the incumbent
+  beats every remaining bound, instead of evaluating all 586 combinations.
+
+:meth:`CrossLayerExplorer.evaluate_reference` preserves the original
+replan-from-scratch semantics; the property tests pin the incremental paths
+to it bit-for-bit.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
+from repro.analysis.pareto import ParetoFrontier, ParetoPoint
 from repro.core.combinations import (
     ABFT_CORRECTION,
     ABFT_DETECTION,
@@ -29,6 +54,7 @@ from repro.core.combinations import (
 )
 from repro.core.heuristics import SelectionPolicy, SelectiveHardeningPlanner
 from repro.core.improvement import MAX_TARGET, ResilienceTarget, sdc_targets
+from repro.engine.executors import ParallelExecutor
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.flipflop import FlipFlopRegistry
 from repro.physical.cells import RecoveryKind
@@ -40,7 +66,7 @@ from repro.resilience.base import TechniqueDescriptor, core_family
 from repro.resilience.design import ProtectedDesign
 from repro.resilience.software import assertions_descriptor, cfcss_descriptor, eddi_descriptor
 
-_HIGH_LEVEL_FACTORIES = {
+_HIGH_LEVEL_FACTORIES: dict[str, Callable[[], TechniqueDescriptor]] = {
     DFC: dfc_descriptor,
     MONITOR: monitor_core_descriptor,
     ASSERTIONS: assertions_descriptor,
@@ -49,6 +75,25 @@ _HIGH_LEVEL_FACTORIES = {
     ABFT_CORRECTION: abft_correction_descriptor,
     ABFT_DETECTION: abft_detection_descriptor,
 }
+
+#: Descriptors are immutable value objects; build each exactly once per
+#: process instead of on every ``evaluate()`` call.
+_HIGH_LEVEL_DESCRIPTORS: dict[str, TechniqueDescriptor] = {}
+
+
+def high_level_descriptor(name: str) -> TechniqueDescriptor:
+    """The process-wide shared descriptor of one high-level technique."""
+    descriptor = _HIGH_LEVEL_DESCRIPTORS.get(name)
+    if descriptor is None:
+        descriptor = _HIGH_LEVEL_FACTORIES[name]()
+        _HIGH_LEVEL_DESCRIPTORS[name] = descriptor
+    return descriptor
+
+
+def high_level_descriptors(combination: CrossLayerCombination) -> list[TechniqueDescriptor]:
+    """The (shared) high-level descriptors of one combination, in order."""
+    return [high_level_descriptor(name) for name in combination.techniques
+            if name in _HIGH_LEVEL_FACTORIES]
 
 
 @dataclass
@@ -72,6 +117,120 @@ class EvaluatedDesign:
         return self.cost.energy_pct
 
 
+@dataclass(frozen=True)
+class ExplorationRecord:
+    """Streamed lightweight aggregate of one (combination, target) evaluation.
+
+    Carries everything frontier construction and reporting need -- costs,
+    achieved improvements, pool coordinates -- without shipping the full
+    :class:`ProtectedDesign` across process boundaries.
+    """
+
+    combination_index: int
+    target_index: int
+    label: str
+    target_label: str
+    area_pct: float
+    power_pct: float
+    energy_pct: float
+    exec_time_pct: float
+    sdc_improvement: float
+    due_improvement: float
+    protected_flip_flops: int
+    meets_target: bool
+
+    def pareto_point(self, metric: str = "sdc") -> ParetoPoint:
+        if metric not in ("sdc", "due"):
+            raise ValueError(f"metric must be 'sdc' or 'due', got {metric!r}")
+        improvement = self.sdc_improvement if metric == "sdc" else self.due_improvement
+        return ParetoPoint(improvement=improvement, energy_pct=self.energy_pct,
+                           area_pct=self.area_pct, exec_time_pct=self.exec_time_pct,
+                           label=f"{self.label} @ {self.target_label}", payload=self)
+
+
+# ---------------------------------------------------------------------- sharding
+@dataclass
+class ExplorationSpec:
+    """Everything a worker needs to evaluate combination shards.
+
+    Pickled once per worker by the pool initializer; each worker rebuilds
+    one explorer from it lazily and keeps its schedule caches warm across
+    the shards it is handed.
+    """
+
+    registry: FlipFlopRegistry
+    vulnerability: VulnerabilityMap
+    timing: TimingModel
+    cost_model: DesignCostModel
+    benchmarks: list[str] | None
+    combinations: list[CrossLayerCombination]
+    targets: list[ResilienceTarget]
+
+
+@dataclass(frozen=True)
+class ExplorationShard:
+    """A contiguous slice of the combination pool (all targets per entry).
+
+    Whole combinations are sharded -- never (combination, target) pairs --
+    so each worker answers a combination's full target sweep from a single
+    cached schedule.
+    """
+
+    index: int
+    combination_indices: tuple[int, ...]
+
+
+@dataclass
+class ExplorationShardResult:
+    """Streamed aggregate for one executed exploration shard."""
+
+    index: int
+    records: list[ExplorationRecord]
+
+
+def shard_combinations(count: int, workers: int,
+                       chunk_size: int | None = None) -> list[ExplorationShard]:
+    """Split a combination pool into contiguous shards (~4 per worker)."""
+    if count <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(count / max(1, workers * 4)))
+    chunk_size = max(1, chunk_size)
+    return [ExplorationShard(index=index,
+                             combination_indices=tuple(range(start, min(start + chunk_size,
+                                                                        count))))
+            for index, start in enumerate(range(0, count, chunk_size))]
+
+
+_SPEC_EXPLORER: tuple[ExplorationSpec, "CrossLayerExplorer"] | None = None
+
+
+def _explorer_for_spec(spec: ExplorationSpec) -> "CrossLayerExplorer":
+    """One explorer per worker process, rebuilt only when the spec changes.
+
+    The memo holds the spec itself (not a derived key), so identity cannot
+    alias across garbage-collected specs in the serial-fallback path.
+    """
+    global _SPEC_EXPLORER
+    if _SPEC_EXPLORER is None or _SPEC_EXPLORER[0] is not spec:
+        explorer = CrossLayerExplorer(spec.registry, spec.vulnerability,
+                                      timing=spec.timing, cost_model=spec.cost_model,
+                                      benchmarks=spec.benchmarks)
+        _SPEC_EXPLORER = (spec, explorer)
+    return _SPEC_EXPLORER[1]
+
+
+def evaluate_exploration_shard(spec: ExplorationSpec,
+                               shard: ExplorationShard) -> ExplorationShardResult:
+    """Evaluate one shard of combinations over every target (worker entry)."""
+    explorer = _explorer_for_spec(spec)
+    records = [explorer.record(spec.combinations[ci], target,
+                               combination_index=ci, target_index=ti)
+               for ci in shard.combination_indices
+               for ti, target in enumerate(spec.targets)]
+    return ExplorationShardResult(index=shard.index, records=records)
+
+
 class CrossLayerExplorer:
     """Evaluates combinations over a vulnerability map and a cost model."""
 
@@ -88,11 +247,14 @@ class CrossLayerExplorer:
         self.family = core_family(registry.core_name)
         self._planner = SelectiveHardeningPlanner(registry, vulnerability, self.timing,
                                                   benchmarks)
+        # (high-level names, recovery) -> (design, sdc, due, cost); non-
+        # tunable combinations are target-independent, so one entry answers
+        # the whole sweep.
+        self._fixed_cache: dict[tuple, tuple[ProtectedDesign, float, float, CostReport]] = {}
 
     # ------------------------------------------------------------------ single combination
     def _high_level_descriptors(self, combination: CrossLayerCombination) -> list[TechniqueDescriptor]:
-        return [_HIGH_LEVEL_FACTORIES[name]() for name in combination.techniques
-                if name in _HIGH_LEVEL_FACTORIES]
+        return high_level_descriptors(combination)
 
     def _policy_for(self, combination: CrossLayerCombination) -> SelectionPolicy:
         return SelectionPolicy(
@@ -101,15 +263,58 @@ class CrossLayerExplorer:
             allow_eds=EDS in combination.techniques,
         )
 
+    def _fixed_design(self, combination: CrossLayerCombination,
+                      ) -> tuple[ProtectedDesign, float, float, CostReport]:
+        """Design/improvement/cost of a combination with no tunable technique."""
+        key = (tuple(name for name in combination.techniques
+                     if name in _HIGH_LEVEL_FACTORIES), combination.recovery)
+        cached = self._fixed_cache.get(key)
+        if cached is not None:
+            return cached
+        high_level = self._high_level_descriptors(combination)
+        design = ProtectedDesign(registry=self.registry, recovery=combination.recovery,
+                                 high_level=high_level, label=combination.label)
+        estimate = design.estimate_improvement(self.vulnerability, self.benchmarks)
+        cost = design.cost(self.cost_model)
+        result = (design, estimate.sdc_improvement, estimate.due_improvement, cost)
+        self._fixed_cache[key] = result
+        return result
+
     def evaluate(self, combination: CrossLayerCombination,
                  target: ResilienceTarget) -> EvaluatedDesign:
         """Build and cost the cheapest design for one combination and target."""
-        high_level = self._high_level_descriptors(combination)
+        if combination.has_tunable_technique:
+            schedule = self._planner.schedule_for(
+                recovery=combination.recovery,
+                policy=self._policy_for(combination),
+                high_level=self._high_level_descriptors(combination))
+            result = schedule.plan(target, label=combination.label)
+            design = result.design
+            protected = result.protected_count
+            sdc, due = result.achieved_sdc, result.achieved_due
+            cost = design.cost(self.cost_model)
+        else:
+            design, sdc, due, cost = self._fixed_design(combination)
+            protected = 0
+        return EvaluatedDesign(combination=combination, target=target, design=design,
+                               cost=cost, sdc_improvement=sdc, due_improvement=due,
+                               protected_flip_flops=protected)
+
+    def evaluate_reference(self, combination: CrossLayerCombination,
+                           target: ResilienceTarget) -> EvaluatedDesign:
+        """The original replan-from-scratch evaluation (equivalence baseline).
+
+        Rebuilds descriptors, vulnerability profiles and the whole Fig. 7
+        walk per call; the incremental :meth:`evaluate` is property-tested
+        to match it bit-for-bit.
+        """
+        high_level = [_HIGH_LEVEL_FACTORIES[name]() for name in combination.techniques
+                      if name in _HIGH_LEVEL_FACTORIES]
         if combination.has_tunable_technique:
             policy = self._policy_for(combination)
-            result = self._planner.plan(target, recovery=combination.recovery,
-                                        policy=policy, high_level=high_level,
-                                        label=combination.label)
+            result = self._planner.plan_replanning(
+                target, recovery=combination.recovery, policy=policy,
+                high_level=high_level, label=combination.label)
             design = result.design
             protected = result.protected_count
             sdc, due = result.achieved_sdc, result.achieved_due
@@ -124,10 +329,28 @@ class CrossLayerExplorer:
                                cost=cost, sdc_improvement=sdc, due_improvement=due,
                                protected_flip_flops=protected)
 
+    def record(self, combination: CrossLayerCombination, target: ResilienceTarget,
+               combination_index: int = 0, target_index: int = 0) -> ExplorationRecord:
+        """Evaluate one pair into a lightweight streaming record."""
+        evaluated = self.evaluate(combination, target)
+        return ExplorationRecord(
+            combination_index=combination_index, target_index=target_index,
+            label=combination.label, target_label=target.label,
+            area_pct=evaluated.cost.area_pct, power_pct=evaluated.cost.power_pct,
+            energy_pct=evaluated.cost.energy_pct,
+            exec_time_pct=evaluated.cost.exec_time_pct,
+            sdc_improvement=evaluated.sdc_improvement,
+            due_improvement=evaluated.due_improvement,
+            protected_flip_flops=evaluated.protected_flip_flops,
+            meets_target=evaluated.meets_target)
+
     # ------------------------------------------------------------------ sweeps
     def sweep_targets(self, combination: CrossLayerCombination,
                       targets: list[ResilienceTarget] | None = None) -> list[EvaluatedDesign]:
-        """Evaluate one combination over the standard target sweep (Table 17/19)."""
+        """Evaluate one combination over the standard target sweep (Table 17/19).
+
+        All targets are answered from one cached protection schedule.
+        """
         return [self.evaluate(combination, target)
                 for target in (targets or sdc_targets())]
 
@@ -138,14 +361,96 @@ class CrossLayerExplorer:
             else enumerate_combinations(self.family)
         return [self.evaluate(combination, target) for combination in pool]
 
+    def stream_records(self, targets: list[ResilienceTarget],
+                       combinations: list[CrossLayerCombination] | None = None,
+                       workers: int = 1,
+                       chunk_size: int | None = None) -> Iterator[ExplorationRecord]:
+        """Stream every (combination, target) evaluation, optionally sharded.
+
+        With ``workers > 1`` the combination pool is sharded over the
+        engine's :class:`ParallelExecutor` (process pool, serial fallback)
+        and records arrive in shard *completion* order; each record carries
+        its pool coordinates, so order-sensitive consumers can sort while
+        streaming consumers (the Pareto frontier, incumbent searches) fold
+        results as they land.
+        """
+        pool = combinations if combinations is not None \
+            else enumerate_combinations(self.family)
+        if workers <= 1:
+            for ci, combination in enumerate(pool):
+                for ti, target in enumerate(targets):
+                    yield self.record(combination, target,
+                                      combination_index=ci, target_index=ti)
+            return
+        spec = ExplorationSpec(registry=self.registry, vulnerability=self.vulnerability,
+                               timing=self.timing, cost_model=self.cost_model,
+                               benchmarks=self.benchmarks, combinations=list(pool),
+                               targets=list(targets))
+        shards = shard_combinations(len(pool), workers, chunk_size)
+        executor = ParallelExecutor(workers=workers)
+        for shard_result in executor.stream(spec, shards, evaluate_exploration_shard):
+            yield from shard_result.records
+
+    def explore_frontier(self, targets: list[ResilienceTarget] | None = None,
+                         combinations: list[CrossLayerCombination] | None = None,
+                         workers: int = 1, metric: str = "sdc") -> ParetoFrontier:
+        """Stream the sweep into a dominance-pruned Pareto frontier."""
+        frontier = ParetoFrontier()
+        for record in self.stream_records(targets or sdc_targets(), combinations,
+                                          workers=workers):
+            frontier.add(record.pareto_point(metric))
+        return frontier
+
+    # ------------------------------------------------------------------ cheapest search
+    def fixed_energy_lower_bound(self, combination: CrossLayerCombination) -> float:
+        """Energy of the combination's non-tunable parts -- a lower bound.
+
+        Tunable protection only ever adds area/power (and never execution
+        time), and combined energy is monotone in both, so the recovery +
+        high-level cost bounds the full design's energy from below.  For
+        combinations without tunable techniques the bound is exact.
+        """
+        report = CostReport()
+        if combination.recovery is not RecoveryKind.NONE:
+            report = report.combined_with(
+                self.cost_model.recovery_report(combination.recovery))
+        for technique in self._high_level_descriptors(combination):
+            costs = technique.costs(self.family)
+            report = report.combined_with(self.cost_model.fixed_overhead(
+                costs.area_pct, costs.power_pct, costs.exec_time_pct))
+        return report.energy_pct
+
     def cheapest_meeting_target(self, target: ResilienceTarget,
                                 combinations: list[CrossLayerCombination] | None = None,
-                                ) -> EvaluatedDesign | None:
-        """The minimum-energy combination that meets a target (Question 2)."""
-        evaluated = [e for e in self.explore_all(target, combinations) if e.meets_target]
-        if not evaluated:
-            return None
-        return min(evaluated, key=lambda e: e.cost.energy_pct)
+                                prune: bool = True) -> EvaluatedDesign | None:
+        """The minimum-energy combination that meets a target (Question 2).
+
+        Candidates are visited in ascending order of their fixed-cost energy
+        lower bound; the search stops as soon as the incumbent's energy is
+        below every remaining bound.  Ties are broken by enumeration order,
+        matching the historical first-minimum semantics exactly.
+        """
+        pool = combinations if combinations is not None \
+            else enumerate_combinations(self.family)
+        if not prune:
+            evaluated = [e for e in self.explore_all(target, pool) if e.meets_target]
+            if not evaluated:
+                return None
+            return min(evaluated, key=lambda e: e.cost.energy_pct)
+        bounds = [self.fixed_energy_lower_bound(combination) for combination in pool]
+        order = sorted(range(len(pool)), key=lambda i: (bounds[i], i))
+        best: EvaluatedDesign | None = None
+        best_key: tuple[float, int] | None = None
+        for i in order:
+            if best_key is not None and bounds[i] > best_key[0]:
+                break
+            evaluated = self.evaluate(pool[i], target)
+            if not evaluated.meets_target:
+                continue
+            key = (evaluated.cost.energy_pct, i)
+            if best_key is None or key < best_key:
+                best, best_key = evaluated, key
+        return best
 
     # ------------------------------------------------------------------ named combinations
     def named_combination(self, names: tuple[str, ...],

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.pareto import ParetoFrontier
 from repro.core.exploration import CrossLayerExplorer, EvaluatedDesign
 from repro.core.improvement import ResilienceTarget
 from repro.engine.engine import EngineConfig, run_suite_campaign
@@ -105,11 +106,26 @@ class ClearFramework:
         return self.explorer.evaluate(self.explorer.best_practice_combination(), target)
 
     def find_cheapest_solution(self, target: ResilienceTarget,
-                               max_combinations: int | None = None) -> EvaluatedDesign | None:
-        """Search the combination space for the minimum-energy solution."""
+                               max_combinations: int | None = None,
+                               prune: bool = True) -> EvaluatedDesign | None:
+        """Search the combination space for the minimum-energy solution.
+
+        Uses the incumbent/lower-bound pruned search by default; pass
+        ``prune=False`` to force exhaustive evaluation (same result).
+        """
         from repro.core.combinations import enumerate_combinations
 
         combinations = enumerate_combinations(self.explorer.family)
         if max_combinations is not None:
             combinations = combinations[:max_combinations]
-        return self.explorer.cheapest_meeting_target(target, combinations)
+        return self.explorer.cheapest_meeting_target(target, combinations, prune=prune)
+
+    def explore_frontier(self, targets: list[ResilienceTarget] | None = None,
+                         workers: int = 1, metric: str = "sdc") -> ParetoFrontier:
+        """Sweep the full combination pool into a streaming Pareto frontier.
+
+        ``workers > 1`` shards the pool over the engine's process-pool
+        executor; results are identical regardless of worker count.
+        """
+        return self.explorer.explore_frontier(targets=targets, workers=workers,
+                                              metric=metric)

@@ -17,36 +17,50 @@ The most cost-effective cross-layer combination the paper finds is built by:
 
 4. stopping once the estimated SDC/DUE improvement (Eq. 1, including γ)
    meets the target.
+
+Planning is *incremental*: because the walk is independent of the target,
+:class:`SelectiveHardeningPlanner` computes one
+:class:`~repro.core.schedule.ProtectionSchedule` per (policy, recovery,
+high-level set) and answers every target from its improvement curves.
+Vulnerability profiles (per-site probabilities and the ranking) and post-
+high-level residuals are cached and shared across schedules.  The legacy
+per-target loop survives as :meth:`SelectiveHardeningPlanner.plan_replanning`
+-- the reference that schedules are property-tested to match bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from enum import Enum, unique
 
 from repro.core.improvement import ResilienceTarget
+from repro.core.schedule import (
+    HARDENING_SUPPRESSION,
+    LowLevelChoice,
+    ProtectionSchedule,
+    ScheduleStep,
+    SelectiveHardeningResult,
+    materialise_design,
+)
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.flipflop import FlipFlopRegistry
 from repro.physical.cells import CellType, RecoveryKind, recovery_cost
 from repro.physical.timing import TimingModel
 from repro.resilience.base import TechniqueDescriptor, core_family
-from repro.resilience.circuit import HardeningPlan
 from repro.resilience.design import (
     HARDWARE_RECOVERY_LATENCY_LIMIT,
-    ProtectedDesign,
     RECOVERY_GAMMA,
     RESIDUAL_FLOOR_FRACTION,
 )
-from repro.resilience.logic_parity import ParityHeuristic, ParityPlanner, UNPIPELINED_GROUP_SIZE
+from repro.resilience.logic_parity import UNPIPELINED_GROUP_SIZE
 
-
-@unique
-class LowLevelChoice(Enum):
-    """Technique choices Heuristic 1 can make for a single flip-flop."""
-
-    LEAP_DICE = "leap-dice"
-    PARITY = "parity"
-    EDS = "eds"
+__all__ = [
+    "LowLevelChoice",
+    "SelectionPolicy",
+    "SelectiveHardeningPlanner",
+    "SelectiveHardeningResult",
+    "choose_technique",
+    "descriptor_key",
+]
 
 
 @dataclass
@@ -61,37 +75,59 @@ class SelectionPolicy:
     def single_technique(self) -> bool:
         return sum((self.allow_hardening, self.allow_parity, self.allow_eds)) == 1
 
+    def cache_key(self) -> tuple:
+        return (self.allow_hardening, self.allow_parity, self.allow_eds,
+                self.hardening_cell)
 
-def choose_technique(flat_index: int, registry: FlipFlopRegistry, timing: TimingModel,
-                     recovery: RecoveryKind, policy: SelectionPolicy) -> LowLevelChoice:
-    """Heuristic 1: choose LEAP-DICE or parity (or EDS) for one flip-flop."""
+
+def _choose_in_context(flat_index: int, registry: FlipFlopRegistry,
+                       timing: TimingModel, policy: SelectionPolicy,
+                       has_recovery: bool,
+                       unrecoverable: tuple[str, ...]) -> LowLevelChoice:
+    """Heuristic 1 with the recovery context hoisted out of the per-site path."""
     detection_allowed = policy.allow_parity or policy.allow_eds
     detection_choice = LowLevelChoice.PARITY if policy.allow_parity else LowLevelChoice.EDS
     if not detection_allowed:
         return LowLevelChoice.LEAP_DICE
     if not policy.allow_hardening:
         return detection_choice
-    unit = registry.site(flat_index).structure.unit
-    unrecoverable = recovery_cost(registry.core_name, recovery).unrecoverable_units
-    if recovery is not RecoveryKind.NONE and unit in unrecoverable:
+    unit = registry.unit_of(flat_index)
+    if has_recovery and unit in unrecoverable:
         return LowLevelChoice.LEAP_DICE          # HARDEN(f)
     if timing.supports_unpipelined(flat_index, UNPIPELINED_GROUP_SIZE):
         return detection_choice                  # PARITY(f)
     return LowLevelChoice.LEAP_DICE
 
 
-@dataclass
-class SelectiveHardeningResult:
-    """Output of the Fig. 7 selective-protection loop."""
+def choose_technique(flat_index: int, registry: FlipFlopRegistry, timing: TimingModel,
+                     recovery: RecoveryKind, policy: SelectionPolicy) -> LowLevelChoice:
+    """Heuristic 1: choose LEAP-DICE or parity (or EDS) for one flip-flop."""
+    unrecoverable = recovery_cost(registry.core_name, recovery).unrecoverable_units
+    return _choose_in_context(flat_index, registry, timing, policy,
+                              recovery is not RecoveryKind.NONE, unrecoverable)
 
-    design: ProtectedDesign
-    protected_count: int
-    achieved_sdc: float
-    achieved_due: float
+
+def descriptor_key(technique: TechniqueDescriptor) -> tuple:
+    """Hashable content key of a technique descriptor (for schedule caching).
+
+    Content-based (not identity-based) so caller-constructed descriptors that
+    equal a library descriptor share its cached schedules, while modified
+    copies never collide.
+    """
+    return (technique.name, technique.layer, technique.tunable,
+            technique.detection_only, technique.coverage,
+            tuple(sorted(technique.costs_by_core.items())),
+            tuple(sorted(technique.gamma_by_core.items())),
+            technique.requires_recovery_for_due)
 
 
 class SelectiveHardeningPlanner:
-    """Implements the Fig. 7 loop on top of a vulnerability map."""
+    """Implements the Fig. 7 loop on top of a vulnerability map.
+
+    One planner serves many (combination, target) queries: the vulnerability
+    profile, post-high-level residuals and full protection schedules are all
+    computed once and memoised on the instance.
+    """
 
     def __init__(self, registry: FlipFlopRegistry, vulnerability: VulnerabilityMap,
                  timing: TimingModel, benchmarks: list[str] | None = None):
@@ -100,8 +136,115 @@ class SelectiveHardeningPlanner:
         self.timing = timing
         self.benchmarks = benchmarks
         self._family = core_family(registry.core_name)
+        self._profile: tuple[list[float], list[float], float, float, list[int]] | None = None
+        self._residual_cache: dict[tuple, tuple[tuple[float, ...], tuple[float, ...]]] = {}
+        self._schedule_cache: dict[tuple, ProtectionSchedule] = {}
 
-    # ------------------------------------------------------------------ main loop
+    # ------------------------------------------------------------------ cached inputs
+    def profile(self) -> tuple[list[float], list[float], float, float, list[int]]:
+        """Per-site (p_sdc, p_due), baselines and the vulnerability ranking.
+
+        Depends only on the vulnerability map and benchmark list, both fixed
+        at construction, so it is computed exactly once per planner.
+        """
+        if self._profile is None:
+            total = self.registry.total_flip_flops
+            p_sdc = [self.vulnerability.sdc_probability(i, self.benchmarks)
+                     for i in range(total)]
+            p_due = [self.vulnerability.due_probability(i, self.benchmarks)
+                     for i in range(total)]
+            baseline_sdc = sum(p_sdc) or 1e-12
+            baseline_due = sum(p_due) or 1e-12
+            ranking = sorted(range(total), key=lambda i: (-(p_sdc[i] + p_due[i]), i))
+            self._profile = (p_sdc, p_due, baseline_sdc, baseline_due, ranking)
+        return self._profile
+
+    def _residuals(self, high_level: list[TechniqueDescriptor],
+                   recovery: RecoveryKind) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Per-site residuals after the high-level techniques (cached).
+
+        The residuals depend on the ordered technique list and on *whether*
+        hardware recovery is present (its latency gate), not on which
+        mechanism it is -- so IR/EIR/flush variants of one technique set
+        share an entry.
+        """
+        key = (tuple(descriptor_key(t) for t in high_level),
+               recovery is not RecoveryKind.NONE)
+        cached = self._residual_cache.get(key)
+        if cached is not None:
+            return cached
+        p_sdc, p_due, _, _, _ = self.profile()
+        total = self.registry.total_flip_flops
+        residual_sdc = list(p_sdc)
+        residual_due = list(p_due)
+        for technique in high_level:
+            coverage = technique.coverage
+            if coverage is None:
+                continue
+            recovered = (coverage.corrects
+                         or (recovery is not RecoveryKind.NONE
+                             and coverage.detection_latency_cycles
+                             <= HARDWARE_RECOVERY_LATENCY_LIMIT))
+            for i in range(total):
+                detected_sdc = residual_sdc[i] * coverage.overall_sdc_detection
+                detected_due = residual_due[i] * coverage.overall_due_detection
+                residual_sdc[i] -= detected_sdc
+                if recovered:
+                    residual_due[i] -= detected_due
+                else:
+                    residual_due[i] += detected_sdc
+        result = (tuple(residual_sdc), tuple(residual_due))
+        self._residual_cache[key] = result
+        return result
+
+    def _gamma_fixed(self, high_level: list[TechniqueDescriptor],
+                     recovery: RecoveryKind) -> float:
+        gamma_fixed = 1.0
+        for technique in high_level:
+            gamma_fixed *= technique.gamma(self._family).factor
+        gamma_fixed *= 1.0 + RECOVERY_GAMMA[self._family].get(recovery, 0.0)
+        return gamma_fixed
+
+    # ------------------------------------------------------------------ schedules
+    def schedule_for(self, recovery: RecoveryKind = RecoveryKind.NONE,
+                     policy: SelectionPolicy | None = None,
+                     high_level: list[TechniqueDescriptor] | None = None,
+                     ) -> ProtectionSchedule:
+        """The (cached) full prefix schedule for one planning context."""
+        policy = policy or SelectionPolicy()
+        high_level = list(high_level or [])
+        key = (policy.cache_key(), recovery,
+               tuple(descriptor_key(t) for t in high_level))
+        cached = self._schedule_cache.get(key)
+        if cached is not None:
+            return cached
+        _, _, baseline_sdc, baseline_due, ranking = self.profile()
+        residual_sdc, residual_due = self._residuals(high_level, recovery)
+        unrecoverable = recovery_cost(self.registry.core_name, recovery).unrecoverable_units
+        has_recovery = recovery is not RecoveryKind.NONE
+        unrecoverable_set = set(unrecoverable)
+        steps = []
+        for flat_index in ranking:
+            choice = _choose_in_context(flat_index, self.registry, self.timing,
+                                        policy, has_recovery, unrecoverable)
+            unit = self.registry.unit_of(flat_index)
+            steps.append(ScheduleStep(
+                flat_index=flat_index, choice=choice,
+                recoverable=has_recovery and unit not in unrecoverable_set,
+                zero_residual=(residual_sdc[flat_index] <= 0
+                               and residual_due[flat_index] <= 0)))
+        schedule = ProtectionSchedule(
+            registry=self.registry, timing=self.timing,
+            vulnerability=self.vulnerability, recovery=recovery,
+            hardening_cell=policy.hardening_cell, high_level=high_level,
+            steps=steps, residual_sdc=list(residual_sdc),
+            residual_due=list(residual_due), baseline_sdc=baseline_sdc,
+            baseline_due=baseline_due,
+            gamma_fixed=self._gamma_fixed(high_level, recovery))
+        self._schedule_cache[key] = schedule
+        return schedule
+
+    # ------------------------------------------------------------------ main entry
     def plan(self, target: ResilienceTarget, recovery: RecoveryKind = RecoveryKind.NONE,
              policy: SelectionPolicy | None = None,
              high_level: list[TechniqueDescriptor] | None = None,
@@ -109,6 +252,25 @@ class SelectiveHardeningPlanner:
         """Protect flip-flops (most vulnerable first) until the target is met.
 
         A target of ``float('inf')`` protects every flip-flop ("max" columns).
+        Answered from the cached protection schedule; bit-identical to
+        :meth:`plan_replanning`.
+        """
+        schedule = self.schedule_for(recovery=recovery, policy=policy,
+                                     high_level=high_level)
+        return schedule.plan(target, label=label)
+
+    # ------------------------------------------------------------------ reference loop
+    def plan_replanning(self, target: ResilienceTarget,
+                        recovery: RecoveryKind = RecoveryKind.NONE,
+                        policy: SelectionPolicy | None = None,
+                        high_level: list[TechniqueDescriptor] | None = None,
+                        label: str = "") -> SelectiveHardeningResult:
+        """The legacy per-target Fig. 7 loop, kept as the equivalence baseline.
+
+        Recomputes the vulnerability profile, residuals and the walk from
+        scratch on every call; used by the property tests and the
+        exploration benchmark to validate (and measure) the incremental
+        schedules against the original semantics.
         """
         policy = policy or SelectionPolicy()
         high_level = list(high_level or [])
@@ -151,7 +313,7 @@ class SelectiveHardeningPlanner:
         hardened: dict[int, CellType] = {}
         parity_members: list[int] = []
         eds_members: set[int] = set()
-        suppression = 1.0 - 2.0e-4  # LEAP-DICE-class residual SER
+        suppression = HARDENING_SUPPRESSION
         unrecoverable = set(recovery_cost(self.registry.core_name, recovery).unrecoverable_units)
 
         def gamma_now() -> float:
@@ -200,19 +362,9 @@ class SelectiveHardeningPlanner:
             protected += 1
             achieved_sdc, achieved_due = improvements()
 
-        design = self._materialise(hardened, parity_members, eds_members, recovery,
-                                   high_level, label)
+        design = materialise_design(self.registry, self.timing, self.vulnerability,
+                                    hardened, parity_members, eds_members, recovery,
+                                    high_level, label)
         return SelectiveHardeningResult(design=design, protected_count=protected,
                                         achieved_sdc=achieved_sdc,
                                         achieved_due=achieved_due)
-
-    # ------------------------------------------------------------------ materialisation
-    def _materialise(self, hardened: dict[int, CellType], parity_members: list[int],
-                     eds_members: set[int], recovery: RecoveryKind,
-                     high_level: list[TechniqueDescriptor], label: str) -> ProtectedDesign:
-        planner = ParityPlanner(self.registry, self.timing, self.vulnerability)
-        groups = planner.build_groups(parity_members, ParityHeuristic.OPTIMIZED)
-        plan = HardeningPlan(assignments=dict(hardened))
-        return ProtectedDesign(registry=self.registry, hardening=plan,
-                               parity_groups=groups, eds_flip_flops=set(eds_members),
-                               recovery=recovery, high_level=high_level, label=label)

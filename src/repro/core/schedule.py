@@ -1,0 +1,285 @@
+"""Incremental protection schedules (one-pass Fig. 7 planning).
+
+The selective-hardening loop of Fig. 7 is deterministic given the selection
+policy, the recovery mechanism and the high-level technique set: the target
+only decides *where the walk down the vulnerability ranking stops*.  A
+:class:`ProtectionSchedule` therefore records the whole walk once -- the
+Heuristic-1 choice per flip-flop plus the cumulative SDC/DUE improvement
+curves (Eq. 1, including the evolving parity-γ) -- and answers any target by
+locating its first crossing on the curve: O(ffs) once per schedule plus
+O(log ffs) per target, instead of O(ffs) per (combination, target) pair.
+
+Bit-exactness with per-target replanning
+(:meth:`repro.core.heuristics.SelectiveHardeningPlanner.plan_replanning`) is
+guaranteed by construction and property-tested:
+
+* the walk applies the exact arithmetic sequence of the legacy loop (zero-
+  residual sites contribute bitwise no-ops, so one pass serves both the
+  finite-target path, which skips them, and the protect-everything path,
+  which does not);
+* a target's stopping point is its *first* crossing of the improvement
+  curve.  The curve need not be monotone (parity-γ and detection-to-DUE
+  conversion can lower it), but any first crossing of a single-metric
+  threshold is a strict running maximum, so single-metric targets bisect the
+  record subsequence; joint targets scan forward from the later of their two
+  single-metric crossings.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from enum import Enum, unique
+
+from repro.core.improvement import ResilienceTarget
+from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.microarch.flipflop import FlipFlopRegistry
+from repro.physical.cells import CellType, RecoveryKind
+from repro.physical.timing import TimingModel
+from repro.resilience.base import TechniqueDescriptor
+from repro.resilience.circuit import HardeningPlan
+from repro.resilience.design import ProtectedDesign, RESIDUAL_FLOOR_FRACTION
+from repro.resilience.logic_parity import ParityHeuristic, ParityPlanner, UNPIPELINED_GROUP_SIZE
+
+#: LEAP-DICE-class residual soft-error rate (Table 4), as a suppression
+#: probability.  Shared with the legacy replanning loop.
+HARDENING_SUPPRESSION = 1.0 - 2.0e-4
+
+
+@unique
+class LowLevelChoice(Enum):
+    """Technique choices Heuristic 1 can make for a single flip-flop."""
+
+    LEAP_DICE = "leap-dice"
+    PARITY = "parity"
+    EDS = "eds"
+
+
+@dataclass
+class SelectiveHardeningResult:
+    """Output of the Fig. 7 selective-protection loop."""
+
+    design: ProtectedDesign
+    protected_count: int
+    achieved_sdc: float
+    achieved_due: float
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One flip-flop's slot in the vulnerability-ranked protection walk.
+
+    Attributes:
+        flat_index: the flip-flop.
+        choice: the Heuristic-1 technique choice (policy- and recovery-
+            dependent, but target-independent).
+        recoverable: whether the schedule's recovery mechanism covers this
+            flip-flop's unit (decides detection semantics).
+        zero_residual: True when the site's post-high-level SDC and DUE
+            residuals are both zero; finite targets skip such sites, the
+            protect-everything walk does not.
+    """
+
+    flat_index: int
+    choice: LowLevelChoice
+    recoverable: bool
+    zero_residual: bool
+
+
+def materialise_design(registry: FlipFlopRegistry, timing: TimingModel,
+                       vulnerability: VulnerabilityMap,
+                       hardened: dict[int, CellType], parity_members: list[int],
+                       eds_members: set[int], recovery: RecoveryKind,
+                       high_level: list[TechniqueDescriptor],
+                       label: str) -> ProtectedDesign:
+    """Turn selected memberships into a :class:`ProtectedDesign` (Fig. 3 parity)."""
+    planner = ParityPlanner(registry, timing, vulnerability)
+    groups = planner.build_groups(parity_members, ParityHeuristic.OPTIMIZED)
+    plan = HardeningPlan(assignments=dict(hardened))
+    return ProtectedDesign(registry=registry, hardening=plan, parity_groups=groups,
+                           eds_flip_flops=set(eds_members), recovery=recovery,
+                           high_level=high_level, label=label)
+
+
+def _first_index_at_least(record_values: list[float], record_indices: list[int],
+                          threshold: float) -> int | None:
+    """First curve index whose value reaches ``threshold`` (record bisection)."""
+    position = bisect_left(record_values, threshold)
+    if position == len(record_values):
+        return None
+    return record_indices[position]
+
+
+class ProtectionSchedule:
+    """The full prefix schedule for one (policy, recovery, high-level) context.
+
+    Built once by :meth:`SelectiveHardeningPlanner.schedule_for`; answers
+    every resilience target through :meth:`plan` without replanning.
+    """
+
+    def __init__(self, registry: FlipFlopRegistry, timing: TimingModel,
+                 vulnerability: VulnerabilityMap, recovery: RecoveryKind,
+                 hardening_cell: CellType,
+                 high_level: list[TechniqueDescriptor],
+                 steps: list[ScheduleStep],
+                 residual_sdc: list[float], residual_due: list[float],
+                 baseline_sdc: float, baseline_due: float, gamma_fixed: float):
+        self.registry = registry
+        self.timing = timing
+        self.vulnerability = vulnerability
+        self.recovery = recovery
+        self.hardening_cell = hardening_cell
+        self.high_level = high_level
+        self.steps = steps
+        self._baseline_sdc = baseline_sdc
+        self._baseline_due = baseline_due
+        self._gamma_fixed = gamma_fixed
+        self._walk(residual_sdc, residual_due)
+        self._build_records()
+
+    # ------------------------------------------------------------------ construction
+    def _improvements(self, parity_count: int, sum_sdc: float,
+                      sum_due: float) -> tuple[float, float]:
+        """Eq. 1 improvements -- the exact arithmetic of the legacy loop."""
+        added = parity_count / UNPIPELINED_GROUP_SIZE
+        gamma = self._gamma_fixed * (1.0 + added / max(1, self.registry.total_flip_flops))
+        sdc = self._baseline_sdc / max(sum_sdc, self._baseline_sdc
+                                       * RESIDUAL_FLOOR_FRACTION) / gamma
+        due = self._baseline_due / max(sum_due, self._baseline_due
+                                       * RESIDUAL_FLOOR_FRACTION) / gamma
+        return sdc, due
+
+    def _walk(self, residual_sdc: list[float], residual_due: list[float]) -> None:
+        """One pass down the ranking, recording both stopping-rule curves.
+
+        Zero-residual sites change the sums by exact floating-point no-ops,
+        so a single pass yields bitwise-identical curves for the finite-
+        target walk (which skips them) and the protect-everything walk
+        (which visits them, growing the parity count).
+        """
+        sum_sdc = sum(residual_sdc)
+        sum_due = sum(residual_due)
+        parity_finite = 0
+        parity_full = 0
+        effective: list[ScheduleStep] = []
+        start = self._improvements(0, sum_sdc, sum_due)
+        curve_sdc = [start[0]]
+        curve_due = [start[1]]
+        for step in self.steps:
+            site_sdc = residual_sdc[step.flat_index]
+            site_due = residual_due[step.flat_index]
+            if step.choice is LowLevelChoice.LEAP_DICE:
+                sum_sdc -= site_sdc * HARDENING_SUPPRESSION
+                sum_due -= site_due * HARDENING_SUPPRESSION
+            else:
+                if step.choice is LowLevelChoice.PARITY:
+                    parity_full += 1
+                if step.recoverable:
+                    sum_sdc -= site_sdc
+                    sum_due -= site_due
+                else:
+                    # Detection without recovery: SDC becomes detected (DUE).
+                    sum_due += site_sdc
+                    sum_sdc -= site_sdc
+            if not step.zero_residual:
+                effective.append(step)
+                if step.choice is LowLevelChoice.PARITY:
+                    parity_finite += 1
+                achieved = self._improvements(parity_finite, sum_sdc, sum_due)
+                curve_sdc.append(achieved[0])
+                curve_due.append(achieved[1])
+        self._effective = effective
+        self._curve_sdc = curve_sdc
+        self._curve_due = curve_due
+        self._full_achieved = self._improvements(parity_full, sum_sdc, sum_due)
+
+    def _build_records(self) -> None:
+        """Strict-running-maximum subsequences enabling first-crossing bisection."""
+        self._sdc_record_values: list[float] = []
+        self._sdc_record_indices: list[int] = []
+        self._due_record_values: list[float] = []
+        self._due_record_indices: list[int] = []
+        best_sdc = best_due = float("-inf")
+        for index, (sdc, due) in enumerate(zip(self._curve_sdc, self._curve_due)):
+            if sdc > best_sdc:
+                best_sdc = sdc
+                self._sdc_record_values.append(sdc)
+                self._sdc_record_indices.append(index)
+            if due > best_due:
+                best_due = due
+                self._due_record_values.append(due)
+                self._due_record_indices.append(index)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def effective_length(self) -> int:
+        """Number of walk steps finite targets can take (zero sites excluded)."""
+        return len(self._effective)
+
+    def improvement_curve(self) -> list[tuple[int, float, float]]:
+        """The (protected count, SDC, DUE) improvement curve for finite targets."""
+        return [(k, self._curve_sdc[k], self._curve_due[k])
+                for k in range(len(self._curve_sdc))]
+
+    def prefix_for(self, target: ResilienceTarget) -> int:
+        """Smallest finite-walk prefix length meeting ``target``.
+
+        Falls back to the full effective walk when the target is never met,
+        matching the legacy loop's exhaustion behaviour.  Callers must route
+        protect-everything ("max") targets through :meth:`plan` instead.
+        """
+        length = len(self._effective)
+        first_sdc = 0 if target.sdc is None else _first_index_at_least(
+            self._sdc_record_values, self._sdc_record_indices, target.sdc)
+        first_due = 0 if target.due is None else _first_index_at_least(
+            self._due_record_values, self._due_record_indices, target.due)
+        if first_sdc is None or first_due is None:
+            return length
+        if target.sdc is None or target.due is None:
+            return max(first_sdc, first_due)
+        # Joint target: satisfaction is not monotone along the walk, so scan
+        # forward from the later single-metric crossing (a valid lower bound).
+        for k in range(max(first_sdc, first_due), length + 1):
+            if target.satisfied_by(self._curve_sdc[k], self._curve_due[k]):
+                return k
+        return length
+
+    @staticmethod
+    def _protects_everything(target: ResilienceTarget) -> bool:
+        return ((target.sdc or 0) == float("inf")
+                or (target.due or 0) == float("inf"))
+
+    # ------------------------------------------------------------------ planning
+    def _membership(self, steps: list[ScheduleStep],
+                    ) -> tuple[dict[int, CellType], list[int], set[int]]:
+        hardened: dict[int, CellType] = {}
+        parity_members: list[int] = []
+        eds_members: set[int] = set()
+        for step in steps:
+            if step.choice is LowLevelChoice.LEAP_DICE:
+                hardened[step.flat_index] = self.hardening_cell
+            elif step.choice is LowLevelChoice.PARITY:
+                parity_members.append(step.flat_index)
+            else:
+                eds_members.add(step.flat_index)
+        return hardened, parity_members, eds_members
+
+    def plan(self, target: ResilienceTarget, label: str = "") -> SelectiveHardeningResult:
+        """Answer one target from the precomputed schedule (no replanning)."""
+        if self._protects_everything(target):
+            selected = self.steps
+            protected = len(self.steps)
+            achieved_sdc, achieved_due = self._full_achieved
+        else:
+            prefix = self.prefix_for(target)
+            selected = self._effective[:prefix]
+            protected = prefix
+            achieved_sdc = self._curve_sdc[prefix]
+            achieved_due = self._curve_due[prefix]
+        hardened, parity_members, eds_members = self._membership(selected)
+        design = materialise_design(self.registry, self.timing, self.vulnerability,
+                                    hardened, parity_members, eds_members,
+                                    self.recovery, list(self.high_level), label)
+        return SelectiveHardeningResult(design=design, protected_count=protected,
+                                        achieved_sdc=achieved_sdc,
+                                        achieved_due=achieved_due)

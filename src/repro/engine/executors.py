@@ -1,28 +1,35 @@
-"""Pluggable campaign executors.
+"""Pluggable streaming shard executors.
 
-An executor takes a :class:`CampaignSpec` (core + program + checkpointed
-golden run) and a list of :class:`ChunkSpec` work shards and *streams*
-:class:`ChunkResult` aggregates back as they complete, so the engine can fold
-outcome counts incrementally instead of materialising every run result.
+An executor takes one shared *payload* (pickled once per worker via the pool
+initializer), a list of shard objects (each carrying a stable ``index``) and
+a module-level shard function, and *streams* per-shard results back as they
+complete, so consumers can fold aggregates incrementally instead of
+materialising every raw result.  Two consumers ride this layer today: the
+injection engine (payload = :class:`CampaignSpec`, shards =
+:class:`ChunkSpec`) and the cross-layer exploration engine (payload =
+``ExplorationSpec``, shards of (combination, target) work).
 
 Two executors ship here:
 
-* :class:`SerialExecutor` replays chunks in order on the caller's core --
+* :class:`SerialExecutor` runs shards in order on the calling process --
   zero overhead, exact pre-engine semantics.
-* :class:`ParallelExecutor` fans chunks out over a
+* :class:`ParallelExecutor` fans shards out over a
   :class:`concurrent.futures.ProcessPoolExecutor`; each worker receives one
-  pickled copy of the campaign spec via the pool initializer and then only
-  chunk payloads per task.  Chunks carry deterministic derived seeds and
-  pre-resolved suppression draws, so results are independent of chunking,
+  pickled copy of the payload via the pool initializer and then only shard
+  objects per task.  Shards carry deterministic derived seeds and
+  pre-resolved stochastic draws, so results are independent of sharding,
   scheduling and completion order.  If process pools are unavailable (import
   restrictions, sandboxes), execution transparently falls back to serial for
-  the chunks that have not completed.
+  the shards that have not completed.
+
+The campaign-specific ``run_chunks`` entry points remain as thin wrappers
+binding the generic layer to :func:`execute_chunk`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Protocol
+from typing import Any, Callable, Iterator, Protocol, TypeVar
 
 from repro.faultinjection.injector import (
     Injection,
@@ -143,46 +150,64 @@ def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     return result
 
 
+ShardT = TypeVar("ShardT")
+ResultT = TypeVar("ResultT")
+
+#: A module-level (picklable) function executing one shard against the
+#: shared payload.  Results must expose a stable ``index`` mirroring their
+#: shard's, so partially-completed pools can be finished serially.
+ShardFunction = Callable[[Any, ShardT], ResultT]
+
+
 class CampaignExecutor(Protocol):
-    """Anything that can execute a sharded campaign and stream aggregates."""
+    """Anything that can execute a sharded workload and stream aggregates."""
+
+    def stream(self, payload: Any, shards: list, fn: ShardFunction) -> Iterator:
+        """Execute ``fn(payload, shard)`` per shard and yield each result, in
+        any completion order."""
+        ...  # pragma: no cover - protocol definition
 
     def run_chunks(self, spec: CampaignSpec,
                    chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
-        """Execute ``chunks`` and yield one :class:`ChunkResult` each, in any
-        completion order."""
+        """Campaign binding: :meth:`stream` with :func:`execute_chunk`."""
         ...  # pragma: no cover - protocol definition
 
 
 class SerialExecutor:
-    """Executes chunks in order on the calling process's core."""
+    """Executes shards in order on the calling process."""
+
+    def stream(self, payload: Any, shards: list, fn: ShardFunction) -> Iterator:
+        for shard in shards:
+            yield fn(payload, shard)
 
     def run_chunks(self, spec: CampaignSpec,
                    chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
-        for chunk in chunks:
-            yield execute_chunk(spec, chunk)
+        return self.stream(spec, chunks, execute_chunk)
 
 
 # ---------------------------------------------------------------------- workers
-_WORKER_SPEC: CampaignSpec | None = None
+_WORKER_PAYLOAD: Any = None
+_WORKER_FN: ShardFunction | None = None
 
 
-def _init_worker(spec: CampaignSpec) -> None:
-    global _WORKER_SPEC
-    _WORKER_SPEC = spec
+def _init_worker(payload: Any, fn: ShardFunction) -> None:
+    global _WORKER_PAYLOAD, _WORKER_FN
+    _WORKER_PAYLOAD = payload
+    _WORKER_FN = fn
 
 
-def _run_chunk_in_worker(chunk: ChunkSpec) -> ChunkResult:
-    assert _WORKER_SPEC is not None, "worker used before initialisation"
-    return execute_chunk(_WORKER_SPEC, chunk)
+def _run_shard_in_worker(shard: Any) -> Any:
+    assert _WORKER_FN is not None, "worker used before initialisation"
+    return _WORKER_FN(_WORKER_PAYLOAD, shard)
 
 
 class ParallelExecutor:
-    """Fans chunks out over a process pool, streaming results as they finish.
+    """Fans shards out over a process pool, streaming results as they finish.
 
     Attributes:
         workers: process count.  Defaults to ``os.cpu_count()`` capped at 8
-            (campaign chunks are CPU-bound, so more processes than cores only
-            add pickling overhead); an explicit count is honoured as given,
+            (shards are CPU-bound, so more processes than cores only add
+            pickling overhead); an explicit count is honoured as given,
             which also lets tests exercise the pool on single-core machines.
     """
 
@@ -193,41 +218,43 @@ class ParallelExecutor:
             workers = min(os.cpu_count() or 1, 8)
         self.workers = max(1, workers)
 
-    def run_chunks(self, spec: CampaignSpec,
-                   chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
-        if self.workers == 1 or len(chunks) <= 1:
-            yield from SerialExecutor().run_chunks(spec, chunks)
+    def stream(self, payload: Any, shards: list, fn: ShardFunction) -> Iterator:
+        if self.workers == 1 or len(shards) <= 1:
+            yield from SerialExecutor().stream(payload, shards, fn)
             return
         done: set[int] = set()
         try:
-            yield from self._run_pooled(spec, chunks, done)
+            yield from self._stream_pooled(payload, shards, fn, done)
         except Exception as error:
             # Process pools can be unavailable (restricted environments) or
-            # die mid-campaign; replay the chunks that never completed
-            # serially so the campaign still finishes with exact results.
-            # Warn so benchmark/throughput readings are not misattributed
-            # to parallel execution.
+            # die mid-run; replay the shards that never completed serially so
+            # the run still finishes with exact results.  Warn so benchmark/
+            # throughput readings are not misattributed to parallel execution.
             import warnings
 
             warnings.warn(
-                f"parallel campaign execution failed ({type(error).__name__}: "
-                f"{error}); finishing the remaining chunks serially",
+                f"parallel shard execution failed ({type(error).__name__}: "
+                f"{error}); finishing the remaining shards serially",
                 RuntimeWarning, stacklevel=2)
-            remaining = [chunk for chunk in chunks if chunk.index not in done]
-            for chunk in remaining:
-                result = execute_chunk(spec, chunk)
+            remaining = [shard for shard in shards if shard.index not in done]
+            for shard in remaining:
+                result = fn(payload, shard)
                 done.add(result.index)
                 yield result
 
-    def _run_pooled(self, spec: CampaignSpec, chunks: list[ChunkSpec],
-                    done: set[int]) -> Iterator[ChunkResult]:
+    def run_chunks(self, spec: CampaignSpec,
+                   chunks: list[ChunkSpec]) -> Iterator[ChunkResult]:
+        return self.stream(spec, chunks, execute_chunk)
+
+    def _stream_pooled(self, payload: Any, shards: list, fn: ShardFunction,
+                       done: set[int]) -> Iterator:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks)),
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(shards)),
                                  initializer=_init_worker,
-                                 initargs=(spec,)) as pool:
-            futures = [pool.submit(_run_chunk_in_worker, chunk)
-                       for chunk in chunks]
+                                 initargs=(payload, fn)) as pool:
+            futures = [pool.submit(_run_shard_in_worker, shard)
+                       for shard in shards]
             for future in as_completed(futures):
                 result = future.result()
                 done.add(result.index)

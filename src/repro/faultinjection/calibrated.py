@@ -29,10 +29,23 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.flipflop import FlipFlopRegistry
+
+_SEED_STRIDE = 1_000_003
+
+
+def _stream_seed(seed: int, benchmark: str, purpose: str = "") -> int:
+    """Deterministic per-benchmark RNG seed.
+
+    crc32, not ``hash()``: string hashing is randomized per process, which
+    would make the "calibrated" map -- and every table built on it -- differ
+    from run to run.  (Same idiom as the workload synthesizer.)
+    """
+    return (seed * _SEED_STRIDE) ^ zlib.crc32(f"{purpose}:{benchmark}".encode())
 
 # Cumulative share of SDCs/DUEs covered when protecting the most vulnerable
 # fraction of flip-flops (piecewise-linear, derived from Table 17's
@@ -187,7 +200,7 @@ class CalibratedVulnerabilityModel:
         middle deciles) while preserving the overall concentration of
         vulnerability that selective hardening exploits.
         """
-        rng = random.Random((self.seed, benchmark).__hash__() & 0x7FFFFFFF)
+        rng = random.Random(_stream_seed(self.seed, benchmark))
         ranking = list(self._base_ranking)
         total = len(ranking)
         top = max(1, total // 10)
@@ -217,7 +230,7 @@ class CalibratedVulnerabilityModel:
         due_scale = profile.mean_due_probability * total / weight_sum
         for benchmark in self.benchmarks:
             ranking = self._benchmark_ranking(benchmark)
-            rng = random.Random((self.seed, benchmark, "jitter").__hash__() & 0x7FFFFFFF)
+            rng = random.Random(_stream_seed(self.seed, benchmark, "jitter"))
             for rank, flat_index in enumerate(ranking):
                 weight = self._base_weights[rank]
                 jitter = 0.96 + 0.08 * rng.random()

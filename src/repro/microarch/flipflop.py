@@ -103,6 +103,7 @@ class FlipFlopRegistry:
         self._structures.append(structure)
         self._by_name[name] = structure
         self._total_bits += width
+        self.__dict__.pop("_units_by_index", None)  # invalidate unit_of table
         return structure
 
     def freeze(self) -> None:
@@ -155,6 +156,21 @@ class FlipFlopRegistry:
             else:
                 return FaultSite(structure=structure, bit=flat_index - structure.first_index)
         raise IndexError(f"flip-flop index not found: {flat_index}")  # pragma: no cover
+
+    def unit_of(self, flat_index: int) -> str:
+        """Functional unit of one flip-flop, via a lazily built flat table.
+
+        The exploration engine asks this once per flip-flop per schedule
+        (tens of millions of times over a 586-combination sweep), so the
+        per-call binary search of :meth:`site` is replaced by one shared
+        O(total) table; :meth:`register` invalidates it.
+        """
+        units = self.__dict__.get("_units_by_index")
+        if units is None:
+            units = [structure.unit for structure in self._structures
+                     for _ in range(structure.width)]
+            self._units_by_index = units
+        return units[flat_index]
 
     def all_sites(self) -> list[FaultSite]:
         """Every injectable fault site in the core (one per flip-flop)."""

@@ -40,3 +40,17 @@ def format_series(title: str, points: Iterable[tuple[object, object]],
                   x_label: str = "x", y_label: str = "y") -> str:
     """Render an (x, y) data series as the two columns of a figure."""
     return format_table(title, [x_label, y_label], [list(point) for point in points])
+
+
+def format_frontier(title: str, frontier) -> str:
+    """Render a :class:`repro.analysis.pareto.ParetoFrontier` as a table.
+
+    One row per non-dominated point, sorted by energy; the header notes how
+    many swept points the frontier condensed.
+    """
+    rows = [[point.label, round(point.improvement, 1), round(point.energy_pct, 1),
+             round(point.area_pct, 1), round(point.exec_time_pct, 1)]
+            for point in frontier.points()]
+    return format_table(
+        f"{title} ({len(frontier)} non-dominated of {frontier.seen} swept)",
+        ["combination", "improvement", "energy %", "area %", "exec time %"], rows)

@@ -98,7 +98,7 @@ class TechniqueCosts:
     exec_time_pct: float = 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class TechniqueDescriptor:
     """Static description of one resilience technique.
 
@@ -106,6 +106,11 @@ class TechniqueDescriptor:
     effect is computed per protected flip-flop -- and report zero fixed cost
     (their cost is computed by the physical cost model from the selected
     flip-flops).
+
+    Frozen: descriptors are shared process-wide (exploration caches one
+    instance per technique and keys schedule/residual caches on their
+    content), so mutation would silently corrupt every cached schedule.
+    Derive variants with :func:`dataclasses.replace` instead.
     """
 
     name: str

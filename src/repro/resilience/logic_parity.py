@@ -53,7 +53,7 @@ def _chunk(indices: list[int], size: int) -> list[list[int]]:
 
 
 def _unit_of(registry: FlipFlopRegistry, flat_index: int) -> str:
-    return registry.site(flat_index).structure.unit
+    return registry.unit_of(flat_index)
 
 
 class ParityPlanner:
@@ -129,7 +129,8 @@ class ParityPlanner:
         """
         with_slack = [i for i in flip_flops
                       if self.timing.supports_unpipelined(i, UNPIPELINED_GROUP_SIZE)]
-        without_slack = [i for i in flip_flops if i not in set(with_slack)]
+        slack_set = set(with_slack)
+        without_slack = [i for i in flip_flops if i not in slack_set]
         groups = self._locality_groups(with_slack, UNPIPELINED_GROUP_SIZE, pipelined=False)
         groups.extend(self._locality_groups(without_slack, PIPELINED_GROUP_SIZE,
                                             pipelined=True))

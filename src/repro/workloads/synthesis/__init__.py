@@ -12,7 +12,10 @@ A seeded, constrained-random program generator that turns the fixed
   golden outputs derived from the ISA reference simulator, registered with
   the workload registry at import;
 * :mod:`repro.workloads.synthesis.sweep` -- per-profile vulnerability sweeps
-  through the checkpointed parallel injection engine.
+  through the checkpointed parallel injection engine;
+* :mod:`repro.workloads.synthesis.calibration` -- measured-CPI calibration
+  landing golden runs on the profile's cycle budget instead of the fixed
+  CPI estimate.
 """
 
 from repro.workloads.synthesis.profile import InstructionMix, WorkloadProfile
@@ -20,6 +23,11 @@ from repro.workloads.synthesis.generator import (
     GeneratedProgram,
     ProgramSynthesizer,
     SynthesisError,
+)
+from repro.workloads.synthesis.calibration import (
+    CalibrationResult,
+    calibrate_cpi,
+    synthesize_calibrated_workload,
 )
 from repro.workloads.synthesis.families import (
     BUILTIN_PROFILES,
@@ -40,8 +48,11 @@ __all__ = [
     "ProgramSynthesizer",
     "SynthesisError",
     "BUILTIN_PROFILES",
+    "CalibrationResult",
     "build_profile_family",
+    "calibrate_cpi",
     "derive_golden_output",
+    "synthesize_calibrated_workload",
     "synthesize_workload",
     "ProfileVulnerability",
     "SyntheticSweepResult",

@@ -1,0 +1,129 @@
+"""Measured-CPI calibration of synthetic cycle budgets.
+
+The synthesizer sizes loop bounds against the fixed
+:data:`~repro.workloads.synthesis.profile.ESTIMATED_CPI` guess, so the
+achieved golden-run cycle count can land a sizable factor away from
+``WorkloadProfile.target_cycles`` for mixes whose stall behaviour deviates
+from the estimate (branch-heavy bodies stall more, arithmetic-dense ones
+less).  :func:`synthesize_calibrated_workload` closes the loop against a
+*measured* golden run: generate, run the program on the cycle-accurate core,
+scale the CPI by the observed cycles-to-budget ratio, and regenerate --
+converging in a round or two because achieved cycles are nearly linear in
+the instruction budget.
+
+Calibration only rescales trip counts: the generator's RNG stream depends on
+(profile, seed) alone, so the loop body, data section and instruction mix
+are untouched, and the whole procedure is deterministic -- one
+(profile, seed, core) triple always yields the same calibrated workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.microarch.core import BaseCore
+from repro.microarch.inorder import InOrderCore
+from repro.workloads.base import Workload
+from repro.workloads.synthesis.generator import ProgramSynthesizer, SynthesisError
+from repro.workloads.synthesis.profile import ESTIMATED_CPI, WorkloadProfile
+
+#: Stop refining once the achieved cycle count is within this relative error.
+DEFAULT_TOLERANCE = 0.10
+
+#: Refinement-round cap; convergence is usually immediate (cycles scale
+#: almost linearly with the instruction budget).
+DEFAULT_MAX_ROUNDS = 4
+
+#: Sanity clamp on the measured CPI -- guards the correction loop against
+#: floor-limited profiles where achieved cycles cannot follow the budget.
+_CPI_BOUNDS = (0.5, 24.0)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """One calibrated synthetic workload plus how calibration went."""
+
+    workload: Workload
+    profile: WorkloadProfile
+    seed: int
+    achieved_cycles: int
+    effective_cpi: float
+    rounds: int
+
+    @property
+    def target_cycles(self) -> int:
+        return self.profile.target_cycles
+
+    @property
+    def relative_error(self) -> float:
+        """Remaining |achieved - target| / target after calibration."""
+        return abs(self.achieved_cycles - self.target_cycles) / self.target_cycles
+
+
+def measure_golden_cycles(profile: WorkloadProfile, seed: int, cpi: float,
+                          core: BaseCore) -> int:
+    """Golden-run cycle count of the (profile, seed, cpi) program on ``core``."""
+    generated = ProgramSynthesizer(profile, seed=seed, cpi=cpi).generate()
+    program = assemble(generated.source, name=f"cal_{profile.name}_{seed}")
+    result = core.run(program)
+    if not result.normal_termination:
+        raise SynthesisError(
+            f"calibration run of profile {profile.name!r} (seed {seed}) did not "
+            f"halt cleanly: {result.reason.value} after {result.cycles} cycles")
+    return result.cycles
+
+
+def calibrate_cpi(profile: WorkloadProfile, seed: int = 2016,
+                  core: BaseCore | None = None,
+                  tolerance: float = DEFAULT_TOLERANCE,
+                  max_rounds: int = DEFAULT_MAX_ROUNDS) -> tuple[float, int, int]:
+    """Measured CPI bringing the profile's golden run onto its cycle budget.
+
+    Returns ``(cpi, achieved_cycles, rounds)`` for the best round observed.
+    Profiles whose budget sits below their fixed-cost floor
+    (:attr:`WorkloadProfile.floor_cycles`) converge to the floor instead of
+    the budget; the returned achieved count reflects that honestly.
+    """
+    core = core or InOrderCore()
+    target = profile.target_cycles
+    cpi = ESTIMATED_CPI
+    best: tuple[float, float, int] | None = None  # (error, cpi, achieved)
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        achieved = measure_golden_cycles(profile, seed, cpi, core)
+        error = abs(achieved - target) / target
+        if best is None or error < best[0]:
+            best = (error, cpi, achieved)
+        if error <= tolerance:
+            break
+        # Cycles are ~linear in the instruction budget, and the budget is
+        # target / cpi: scale the CPI by the observed overshoot ratio.
+        low, high = _CPI_BOUNDS
+        cpi = min(high, max(low, cpi * achieved / target))
+        if cpi == best[1]:
+            break  # clamped or converged: further rounds cannot improve
+    assert best is not None
+    return best[1], best[2], rounds
+
+
+def synthesize_calibrated_workload(profile: WorkloadProfile, seed: int = 2016,
+                                   core: BaseCore | None = None,
+                                   tolerance: float = DEFAULT_TOLERANCE,
+                                   max_rounds: int = DEFAULT_MAX_ROUNDS,
+                                   name: str | None = None) -> CalibrationResult:
+    """One workload whose golden run lands on the profile's cycle budget.
+
+    Drop-in companion to
+    :func:`repro.workloads.synthesis.families.synthesize_workload`, which
+    keeps the fixed-CPI sizing (and the historical program bytes) for callers
+    that only need an approximate budget.
+    """
+    from repro.workloads.synthesis.families import synthesize_workload
+
+    cpi, achieved, rounds = calibrate_cpi(profile, seed=seed, core=core,
+                                          tolerance=tolerance, max_rounds=max_rounds)
+    workload = synthesize_workload(profile, seed=seed, name=name, cpi=cpi)
+    return CalibrationResult(workload=workload, profile=profile, seed=seed,
+                             achieved_cycles=achieved, effective_cpi=cpi,
+                             rounds=rounds)

@@ -83,9 +83,15 @@ def derive_golden_output(source: str, name: str = "synthetic") -> list[int]:
 
 
 def synthesize_workload(profile: WorkloadProfile, seed: int = 2016,
-                        name: str | None = None) -> Workload:
-    """Generate one workload: program synthesis + simulator-derived oracle."""
-    generated = ProgramSynthesizer(profile, seed=seed).generate()
+                        name: str | None = None, cpi: float | None = None) -> Workload:
+    """Generate one workload: program synthesis + simulator-derived oracle.
+
+    ``cpi`` overrides the fixed loop-sizing estimate; pass the output of
+    :func:`repro.workloads.synthesis.calibration.calibrate_cpi` (or use
+    :func:`~repro.workloads.synthesis.calibration.synthesize_calibrated_workload`)
+    to land the golden run on the profile's cycle budget.
+    """
+    generated = ProgramSynthesizer(profile, seed=seed, cpi=cpi).generate()
     workload_name = name or f"syn_{profile.name}_{seed}"
     golden = derive_golden_output(generated.source, name=workload_name)
     return Workload(

@@ -79,11 +79,22 @@ class GeneratedProgram:
 
 
 class ProgramSynthesizer:
-    """Emits one assembly program for a (profile, seed) pair."""
+    """Emits one assembly program for a (profile, seed) pair.
 
-    def __init__(self, profile: WorkloadProfile, seed: int = 2016):
+    ``cpi`` overrides the fixed :data:`ESTIMATED_CPI` used to size loop
+    bounds against the profile's cycle budget; pass a measured value (see
+    :mod:`repro.workloads.synthesis.calibration`) to hit the budget more
+    accurately.  The RNG stream depends only on (profile, seed), so changing
+    ``cpi`` rescales trip counts without re-rolling the loop body.
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 2016,
+                 cpi: float | None = None):
         self.profile = profile
         self.seed = seed
+        self.cpi = ESTIMATED_CPI if cpi is None else cpi
+        if self.cpi <= 0:
+            raise ValueError(f"cpi must be positive, got {self.cpi}")
 
     def generate(self) -> GeneratedProgram:
         """Synthesize the program (deterministic in profile and seed)."""
@@ -126,7 +137,7 @@ class ProgramSynthesizer:
                  + len(ACCUMULATORS) + 1)
         target_instructions = max(
             float(per_iteration),
-            profile.target_cycles / ESTIMATED_CPI - fixed)
+            profile.target_cycles / self.cpi - fixed)
         total = max(1, round(target_instructions / per_iteration))
         base = max(2, round(total ** (1.0 / depth)))
         trips = [min(base, _MAX_OUTER_TRIPS)] * (depth - 1)

@@ -1,0 +1,307 @@
+"""Tests for the incremental Pareto exploration engine.
+
+Covers the invariants the exploration refactor rests on:
+
+1. prefix-schedule planning is bit-identical to per-target replanning across
+   randomized targets, policies and recoveries on both cores (hypothesis);
+2. the incremental explorer matches the replan-from-scratch reference
+   evaluation, including non-tunable and high-level combinations;
+3. sharded record streaming is independent of worker count and sharding;
+4. ParetoFrontier dominance, pruning and order-independence;
+5. the incumbent/lower-bound pruned cheapest-combination search returns the
+   exhaustive search's answer;
+6. measured-CPI calibration of synthetic cycle budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import ParetoFrontier, ParetoPoint
+from repro.core import (
+    CrossLayerExplorer,
+    ResilienceTarget,
+    SelectionPolicy,
+    enumerate_combinations,
+    sdc_targets,
+)
+from repro.core.exploration import high_level_descriptor, shard_combinations
+from repro.core.heuristics import SelectiveHardeningPlanner
+from repro.physical import RecoveryKind
+from repro.workloads.synthesis import (
+    BUILTIN_PROFILES,
+    synthesize_calibrated_workload,
+    synthesize_workload,
+)
+from repro.workloads.synthesis.calibration import calibrate_cpi
+
+_TARGET_VALUES = (1.5, 2.0, 5.0, 17.3, 50.0, 500.0, 1e6, float("inf"))
+_RECOVERIES = {
+    "InO": (RecoveryKind.NONE, RecoveryKind.FLUSH, RecoveryKind.IR, RecoveryKind.EIR),
+    "OoO": (RecoveryKind.NONE, RecoveryKind.ROB, RecoveryKind.IR, RecoveryKind.EIR),
+}
+_HIGH_LEVEL_POOLS = {
+    "InO": ("dfc", "assertions", "cfcss", "eddi", "abft-correction"),
+    "OoO": ("dfc", "monitor-core", "abft-detection"),
+}
+
+
+def _assert_results_identical(incremental, reference):
+    """Planner outputs must match bit-for-bit, designs included."""
+    assert incremental.protected_count == reference.protected_count
+    assert incremental.achieved_sdc == reference.achieved_sdc
+    assert incremental.achieved_due == reference.achieved_due
+    assert (incremental.design.hardening.assignments
+            == reference.design.hardening.assignments)
+    assert incremental.design.parity_groups == reference.design.parity_groups
+    assert incremental.design.eds_flip_flops == reference.design.eds_flip_flops
+    assert incremental.design.recovery == reference.design.recovery
+    assert incremental.design.gamma() == reference.design.gamma()
+
+
+@st.composite
+def _targets(draw):
+    kind = draw(st.sampled_from(("sdc", "due", "joint")))
+    sdc = draw(st.sampled_from(_TARGET_VALUES)) if kind in ("sdc", "joint") else None
+    due = draw(st.sampled_from(_TARGET_VALUES)) if kind in ("due", "joint") else None
+    return ResilienceTarget(sdc=sdc, due=due)
+
+
+class TestScheduleEquivalence:
+    """Prefix schedules reproduce per-target replanning exactly."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_plan_matches_replanning(self, data, ino_framework, ooo_framework):
+        framework = data.draw(st.sampled_from((ino_framework, ooo_framework)),
+                              label="framework")
+        family = "InO" if framework is ino_framework else "OoO"
+        target = data.draw(_targets(), label="target")
+        recovery = data.draw(st.sampled_from(_RECOVERIES[family]), label="recovery")
+        policy = SelectionPolicy(
+            allow_hardening=data.draw(st.booleans(), label="hardening"),
+            allow_parity=data.draw(st.booleans(), label="parity"),
+            allow_eds=data.draw(st.booleans(), label="eds"))
+        names = data.draw(st.lists(st.sampled_from(_HIGH_LEVEL_POOLS[family]),
+                                   unique=True, max_size=3), label="high_level")
+        high_level = [high_level_descriptor(name) for name in names]
+        planner = SelectiveHardeningPlanner(framework.core.registry,
+                                            framework.vulnerability, framework.timing,
+                                            framework.benchmark_names())
+        incremental = planner.plan(target, recovery=recovery, policy=policy,
+                                   high_level=high_level)
+        reference = planner.plan_replanning(target, recovery=recovery, policy=policy,
+                                            high_level=high_level)
+        _assert_results_identical(incremental, reference)
+
+    def test_schedule_is_cached_and_reused(self, ino_framework):
+        planner = SelectiveHardeningPlanner(ino_framework.core.registry,
+                                            ino_framework.vulnerability,
+                                            ino_framework.timing)
+        first = planner.schedule_for(recovery=RecoveryKind.FLUSH)
+        second = planner.schedule_for(recovery=RecoveryKind.FLUSH)
+        assert first is second
+        assert planner.schedule_for(recovery=RecoveryKind.NONE) is not first
+
+    def test_improvement_curve_shape(self, ino_framework):
+        planner = SelectiveHardeningPlanner(ino_framework.core.registry,
+                                            ino_framework.vulnerability,
+                                            ino_framework.timing)
+        schedule = planner.schedule_for(recovery=RecoveryKind.FLUSH)
+        curve = schedule.improvement_curve()
+        assert len(curve) == schedule.effective_length + 1
+        assert curve[0][0] == 0
+        # The final point answers any unreachable finite target.
+        assert schedule.prefix_for(ResilienceTarget(sdc=1e18)) == schedule.effective_length
+
+
+class TestExplorerEquivalence:
+    """The incremental explorer matches replan-from-scratch evaluation."""
+
+    @pytest.fixture(scope="class")
+    def sample(self):
+        combos = enumerate_combinations("InO")
+        return combos[::31]  # tunable, fixed, ABFT and recovery variants
+
+    def test_evaluate_matches_reference(self, ino_framework, sample):
+        explorer = ino_framework.explorer
+        for combination in sample:
+            for target in (ResilienceTarget(sdc=5), ResilienceTarget(sdc=float("inf"))):
+                incremental = explorer.evaluate(combination, target)
+                reference = explorer.evaluate_reference(combination, target)
+                assert incremental.cost == reference.cost
+                assert incremental.sdc_improvement == reference.sdc_improvement
+                assert incremental.due_improvement == reference.due_improvement
+                assert incremental.protected_flip_flops == reference.protected_flip_flops
+
+    def test_fixed_combinations_cached_across_targets(self, ino_framework):
+        explorer = ino_framework.explorer
+        combination = explorer.named_combination(("dfc",))
+        first = explorer.evaluate(combination, ResilienceTarget(sdc=2))
+        second = explorer.evaluate(combination, ResilienceTarget(sdc=500))
+        assert first.design is second.design          # one design, any target
+        assert first.sdc_improvement == second.sdc_improvement
+
+    def test_stream_records_independent_of_workers(self, ino_framework):
+        explorer = ino_framework.explorer
+        combos = enumerate_combinations("InO")[:12]
+        targets = sdc_targets()[:3]
+        key = lambda r: (r.combination_index, r.target_index)
+        serial = sorted(explorer.stream_records(targets, combos, workers=1), key=key)
+        sharded = sorted(explorer.stream_records(targets, combos, workers=2,
+                                                 chunk_size=3), key=key)
+        assert serial == sharded
+        assert len(serial) == len(combos) * len(targets)
+
+    def test_shard_combinations_covers_pool(self):
+        shards = shard_combinations(17, workers=2, chunk_size=4)
+        indices = [i for shard in shards for i in shard.combination_indices]
+        assert indices == list(range(17))
+        assert [shard.index for shard in shards] == list(range(len(shards)))
+        assert shard_combinations(0, workers=4) == []
+
+    def test_cheapest_pruned_matches_exhaustive(self, ino_framework):
+        explorer = ino_framework.explorer
+        combos = enumerate_combinations("InO")[::7]
+        for target in (ResilienceTarget(sdc=5), ResilienceTarget(sdc=50),
+                       ResilienceTarget(sdc=1e18)):
+            pruned = explorer.cheapest_meeting_target(target, combos)
+            exhaustive = explorer.cheapest_meeting_target(target, combos, prune=False)
+            if exhaustive is None:
+                assert pruned is None
+            else:
+                assert pruned is not None
+                assert pruned.combination == exhaustive.combination
+                assert pruned.cost == exhaustive.cost
+
+    def test_lower_bound_is_a_lower_bound(self, ino_framework):
+        explorer = ino_framework.explorer
+        for combination in enumerate_combinations("InO")[::43]:
+            bound = explorer.fixed_energy_lower_bound(combination)
+            actual = explorer.evaluate(combination, ResilienceTarget(sdc=50))
+            assert bound <= actual.cost.energy_pct + 1e-9
+
+    def test_high_level_descriptors_are_singletons(self):
+        assert high_level_descriptor("dfc") is high_level_descriptor("dfc")
+
+    def test_explore_frontier_dominance(self, ino_framework):
+        explorer = ino_framework.explorer
+        combos = enumerate_combinations("InO")[:20]
+        frontier = explorer.explore_frontier(sdc_targets()[:3], combos, workers=1)
+        points = frontier.points()
+        assert 0 < len(points) <= frontier.seen == 60
+        for a in points:
+            assert not any(b.dominates(a) for b in points if b is not a)
+
+
+class TestParetoFrontier:
+    def _point(self, improvement, energy, area=1.0, exec_time=0.0, label=""):
+        return ParetoPoint(improvement=improvement, energy_pct=energy,
+                           area_pct=area, exec_time_pct=exec_time, label=label)
+
+    def test_dominance(self):
+        better = self._point(50, 2.0)
+        worse = self._point(10, 5.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        # Equal coordinates dominate in neither direction.
+        assert not better.dominates(self._point(50, 2.0))
+
+    def test_incomparable_points_coexist(self):
+        frontier = ParetoFrontier()
+        assert frontier.add(self._point(50, 5.0))
+        assert frontier.add(self._point(10, 1.0))   # cheaper but weaker
+        assert len(frontier) == 2
+
+    def test_dominated_points_are_pruned(self):
+        frontier = ParetoFrontier()
+        frontier.add(self._point(10, 5.0, label="old"))
+        assert frontier.add(self._point(50, 2.0, label="new"))
+        assert len(frontier) == 1 and frontier.points()[0].label == "new"
+        assert not frontier.add(self._point(5, 9.0))
+        assert frontier.seen == 3
+
+    def test_duplicates_folded_and_order_independent(self):
+        points = [self._point(50, 2.0), self._point(50, 2.0),
+                  self._point(10, 1.0), self._point(10, 5.0), self._point(60, 9.0)]
+        forward, backward = ParetoFrontier(), ParetoFrontier()
+        forward.update(points)
+        backward.update(list(reversed(points)))
+        coords = lambda f: sorted((p.improvement, p.energy_pct) for p in f)
+        assert coords(forward) == coords(backward) == [(10, 1.0), (50, 2.0), (60, 9.0)]
+
+    def test_cheapest_at_least_and_envelope(self):
+        frontier = ParetoFrontier()
+        frontier.update([self._point(10, 1.0), self._point(50, 2.0),
+                         self._point(500, 8.0)])
+        assert frontier.cheapest_at_least(40).energy_pct == 2.0
+        assert frontier.cheapest_at_least(1000) is None
+        envelope = frontier.envelope()
+        assert envelope == sorted(envelope)
+
+
+class TestCalibratedMapDeterminism:
+    def test_map_identical_across_hash_randomization(self):
+        """The calibrated map must not depend on per-process str-hash salt.
+
+        Regression test: per-benchmark RNG streams were once derived from
+        ``hash((seed, benchmark))``, which silently re-rolled the whole
+        vulnerability population (and every table built on it) each run.
+        """
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "from repro.faultinjection.calibrated import CalibratedVulnerabilityModel\n"
+            "from repro.microarch import InOrderCore\n"
+            "registry = InOrderCore().registry\n"
+            "model = CalibratedVulnerabilityModel(registry, ['a', 'b'], seed=11)\n"
+            "v = model.build_map()\n"
+            "names = ['a', 'b']\n"
+            "print(repr(sum(v.sdc_probability(i, names)\n"
+            "               for i in range(registry.total_flip_flops))))\n")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = []
+        for hash_seed in ("1", "271828"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+            result = subprocess.run([sys.executable, "-c", code], env=env,
+                                    capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestCycleCalibration:
+    def test_calibration_reduces_cycle_error(self):
+        # control_heavy misses its budget by >10% with the fixed CPI estimate.
+        profile = BUILTIN_PROFILES["control_heavy"]
+        calibrated = synthesize_calibrated_workload(profile, seed=2016)
+        assert calibrated.relative_error <= 0.10
+        assert calibrated.effective_cpi != pytest.approx(3.0)
+
+    def test_calibration_is_deterministic(self):
+        profile = BUILTIN_PROFILES["mixed"]
+        first = synthesize_calibrated_workload(profile, seed=5)
+        second = synthesize_calibrated_workload(profile, seed=5)
+        assert first.workload.source == second.workload.source
+        assert first.achieved_cycles == second.achieved_cycles
+        assert first.effective_cpi == second.effective_cpi
+
+    def test_cpi_override_preserves_rng_stream(self):
+        # Calibration rescales trip counts but must not re-roll the body.
+        profile = BUILTIN_PROFILES["arithmetic_dense"]
+        default = synthesize_workload(profile, seed=9)
+        scaled = synthesize_workload(profile, seed=9, cpi=1.5)
+        body = lambda source: [line for line in source.splitlines()
+                               if not line.startswith("    li a")]
+        assert body(default.source) == body(scaled.source)
+
+    def test_floor_limited_budget_reported_honestly(self):
+        # memory_streaming's 4000-cycle budget sits below its epilogue floor;
+        # calibration converges to the floor and reports the residual error.
+        profile = BUILTIN_PROFILES["memory_streaming"]
+        cpi, achieved, rounds = calibrate_cpi(profile, seed=2016, max_rounds=3)
+        assert achieved >= profile.floor_cycles
+        assert rounds <= 3
