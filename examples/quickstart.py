@@ -7,14 +7,22 @@ of selective LEAP-DICE hardening, logic parity and micro-architectural
 sweeps a sample of the 586 cross-layer combinations into a Pareto frontier
 (sharded over worker processes with ``--workers``).
 
+With ``--frontier-store PATH`` the swept frontier is persisted as versioned
+JSON; when the file already holds a previous run, the two are merged and
+compared -- the cross-run comparison workflow of ``repro.analysis.store``.
+
 Run with:  python examples/quickstart.py [--workers N] [--sample N]
+           [--frontier-store PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
+from repro.analysis.store import load_frontier, merge_frontiers, save_frontier
 from repro.core import ClearFramework, ResilienceTarget, enumerate_combinations, sdc_targets
+from repro.reporting import format_frontier_comparison
 
 
 def main() -> None:
@@ -25,6 +33,9 @@ def main() -> None:
     parser.add_argument("--sample", type=int, default=48,
                         help="combinations to sweep into the Pareto frontier "
                              "(0 = the full 417-combination InO pool)")
+    parser.add_argument("--frontier-store", type=str, default=None,
+                        help="persist the swept frontier here; an existing "
+                             "store is loaded and merged for comparison")
     args = parser.parse_args()
 
     framework = ClearFramework.for_inorder_core()
@@ -60,6 +71,21 @@ def main() -> None:
     if cheapest is not None:
         print(f"  cheapest >=50x       : {cheapest.label} "
               f"({cheapest.energy_pct:.1f}% energy)")
+
+    if args.frontier_store:
+        store_path = Path(args.frontier_store)
+        previous = load_frontier(store_path) if store_path.exists() else None
+        save_frontier(store_path, frontier,
+                      metadata={"label": "current", "core": framework.core.name,
+                                "combinations": len(pool),
+                                "workers": args.workers})
+        print(f"\nFrontier persisted to {store_path}")
+        if previous is not None:
+            merged = merge_frontiers([previous.frontier, frontier])
+            print(format_frontier_comparison(
+                "Cross-run frontier comparison",
+                [("previous", previous.frontier), ("current", frontier),
+                 ("merged", merged)]))
 
     print("\nConclusion (paper Sec. 1): a carefully optimized combination of circuit "
           "hardening, logic parity and micro-architectural recovery — or selective "

@@ -1,4 +1,5 @@
-"""Analysis tools: benchmark dependence (Sec. 4) and Pareto frontiers."""
+"""Analysis tools: benchmark dependence (Sec. 4), Pareto frontiers and
+their persistence."""
 
 from repro.analysis.benchmark_dependence import (
     BenchmarkDependenceStudy,
@@ -9,6 +10,15 @@ from repro.analysis.benchmark_dependence import (
 )
 from repro.analysis.pareto import ParetoFrontier, ParetoPoint
 from repro.analysis.similarity import benchmark_deciles, subset_similarity
+from repro.analysis.store import (
+    STORE_VERSION,
+    StoredFrontier,
+    frontier_from_dict,
+    frontier_to_dict,
+    load_frontier,
+    merge_frontiers,
+    save_frontier,
+)
 
 __all__ = [
     "BenchmarkDependenceStudy",
@@ -20,4 +30,11 @@ __all__ = [
     "ParetoPoint",
     "benchmark_deciles",
     "subset_similarity",
+    "STORE_VERSION",
+    "StoredFrontier",
+    "frontier_from_dict",
+    "frontier_to_dict",
+    "load_frontier",
+    "merge_frontiers",
+    "save_frontier",
 ]

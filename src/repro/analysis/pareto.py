@@ -10,8 +10,10 @@ kept point is at least as good on every axis (higher-or-equal improvement,
 lower-or-equal cost on every cost axis) and strictly better on one.
 
 The final frontier is independent of insertion order -- dominance is a
-partial order and exact-duplicate points are folded -- which is what allows
-results to stream in whatever order process-pool shards complete.
+partial order, exact-duplicate coordinates are folded, and coordinate ties
+are broken deterministically (lexicographically smallest label wins) -- which
+is what allows results to stream in whatever order process-pool shards
+complete while still reproducing the same frontier, labels included.
 """
 
 from __future__ import annotations
@@ -55,13 +57,21 @@ class ParetoFrontier:
     def add(self, point: ParetoPoint) -> bool:
         """Offer one point; returns True when it joins the frontier.
 
-        Exact coordinate duplicates of a kept point are folded (first one
-        wins), which keeps the frontier insertion-order independent.
+        Exact coordinate duplicates of a kept point are folded with a
+        deterministic tie-break -- the lexicographically smallest label wins
+        (first offer wins among equal labels) -- so the surviving point,
+        label and payload included, does not depend on the order process-pool
+        shards happen to complete in.
         """
         self._seen += 1
         coordinates = point._coordinates()
-        for kept in self._points:
-            if kept.dominates(point) or kept._coordinates() == coordinates:
+        for position, kept in enumerate(self._points):
+            if kept._coordinates() == coordinates:
+                if point.label < kept.label:
+                    self._points[position] = point
+                    return True
+                return False
+            if kept.dominates(point):
                 return False
         self._points = [kept for kept in self._points if not point.dominates(kept)]
         self._points.append(point)
@@ -70,6 +80,18 @@ class ParetoFrontier:
     def update(self, points: Iterable[ParetoPoint]) -> int:
         """Offer many points; returns how many survived."""
         return sum(1 for point in points if self.add(point))
+
+    @classmethod
+    def from_points(cls, points: Iterable[ParetoPoint],
+                    seen: int | None = None) -> "ParetoFrontier":
+        """Build a frontier by offering ``points``; ``seen`` restores sweep
+        coverage recorded elsewhere (e.g. a persisted frontier whose dominated
+        points were pruned before storage)."""
+        frontier = cls()
+        frontier.update(points)
+        if seen is not None:
+            frontier._seen = max(seen, frontier._seen)
+        return frontier
 
     # ------------------------------------------------------------------ queries
     @property

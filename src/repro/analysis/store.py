@@ -1,0 +1,160 @@
+"""Versioned persistence for exploration artefacts.
+
+Pareto frontiers are the condensed output of sweeps that can take minutes
+(synthetic campaigns) to hours (full combination pools at scale), so they are
+worth keeping: this module round-trips :class:`~repro.analysis.pareto.ParetoFrontier`
+through a small versioned JSON document together with free-form sweep
+metadata (seed, core, families, targets, ...), and merges stored frontiers
+from different runs into one cross-run frontier for comparison dashboards.
+
+Round-trips are exact: floats are serialized with ``repr`` precision (the
+``json`` module's default), so a reloaded frontier has bit-identical
+coordinates and therefore an identical dominance structure.  Payload objects
+survive as plain JSON data -- dataclasses (e.g. the explorer's
+``ExplorationRecord``) become dicts, anything not JSON-representable is
+dropped -- because the payload is a debugging convenience, not part of the
+frontier's identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.pareto import ParetoFrontier, ParetoPoint
+
+STORE_FORMAT = "repro.pareto-frontier"
+"""Document discriminator, so stray JSON files fail fast with a clear error."""
+
+STORE_VERSION = 1
+"""Schema version; bump on incompatible layout changes."""
+
+
+@dataclass
+class StoredFrontier:
+    """One persisted frontier: the points plus the sweep that produced them."""
+
+    frontier: ParetoFrontier
+    metadata: dict = field(default_factory=dict)
+    version: int = STORE_VERSION
+
+    @property
+    def label(self) -> str:
+        """Short human identity for comparison tables."""
+        return str(self.metadata.get("label")
+                   or self.metadata.get("core")
+                   or "frontier")
+
+
+def _payload_to_json(payload: object) -> object:
+    """Best-effort JSON projection of a point payload (None when opaque)."""
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        payload = dataclasses.asdict(payload)
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError):
+        return None
+    return payload
+
+
+def frontier_to_dict(frontier: ParetoFrontier,
+                     metadata: dict | None = None) -> dict:
+    """The versioned JSON-ready document of one frontier."""
+    return {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "metadata": dict(metadata or {}),
+        "seen": frontier.seen,
+        "points": [
+            {
+                "improvement": point.improvement,
+                "energy_pct": point.energy_pct,
+                "area_pct": point.area_pct,
+                "exec_time_pct": point.exec_time_pct,
+                "label": point.label,
+                "payload": _payload_to_json(point.payload),
+            }
+            for point in frontier.points()
+        ],
+    }
+
+
+def frontier_from_dict(document: dict) -> StoredFrontier:
+    """Rebuild a stored frontier, revalidating dominance on the way in.
+
+    Raises:
+        ValueError: if the document is not a frontier store or was written
+            by a newer schema version than this code understands.
+    """
+    if document.get("format") != STORE_FORMAT:
+        raise ValueError(
+            f"not a Pareto frontier store (format={document.get('format')!r}, "
+            f"expected {STORE_FORMAT!r})")
+    version = document.get("version")
+    if not isinstance(version, int) or version < 1 or version > STORE_VERSION:
+        raise ValueError(
+            f"unsupported frontier store version {version!r}; this build "
+            f"reads versions 1..{STORE_VERSION} -- regenerate the store or "
+            f"upgrade the reader")
+    try:
+        points = [ParetoPoint(improvement=entry["improvement"],
+                              energy_pct=entry["energy_pct"],
+                              area_pct=entry["area_pct"],
+                              exec_time_pct=entry["exec_time_pct"],
+                              label=entry.get("label", ""),
+                              payload=entry.get("payload"))
+                  for entry in document["points"]]
+    except (KeyError, TypeError) as error:
+        raise ValueError(
+            f"malformed frontier store (version {version}): {error!r}; the "
+            f"document is truncated or was edited by hand") from error
+    frontier = ParetoFrontier.from_points(points, seen=document.get("seen"))
+    return StoredFrontier(frontier=frontier,
+                          metadata=dict(document.get("metadata", {})),
+                          version=version)
+
+
+def save_frontier(path: str | Path, frontier: ParetoFrontier,
+                  metadata: dict | None = None) -> Path:
+    """Persist one frontier (plus metadata) to ``path``; returns the path.
+
+    The write is atomic (temp file + rename in the target directory): a
+    frontier condenses a sweep that may have taken hours, so an interrupted
+    save must never destroy the previous store.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = frontier_to_dict(frontier, metadata=metadata)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_text(json.dumps(document, indent=2) + "\n")
+    os.replace(scratch, path)
+    return path
+
+
+def load_frontier(path: str | Path) -> StoredFrontier:
+    """Load one persisted frontier.
+
+    Raises:
+        ValueError: for non-store documents or unsupported versions.
+    """
+    return frontier_from_dict(json.loads(Path(path).read_text()))
+
+
+def merge_frontiers(stores: Iterable[StoredFrontier | ParetoFrontier],
+                    ) -> ParetoFrontier:
+    """Fold several (stored) frontiers into one cross-run frontier.
+
+    Coverage (`seen`) accumulates across the inputs, and the deterministic
+    coordinate tie-break makes the merge independent of input order.
+    """
+    frontiers = [store.frontier if isinstance(store, StoredFrontier) else store
+                 for store in stores]
+    merged = ParetoFrontier()
+    for frontier in frontiers:
+        merged.update(frontier.points())
+    merged._seen = sum(frontier.seen for frontier in frontiers)
+    return merged

@@ -7,6 +7,7 @@ from repro.core.combinations import (
     total_combination_count,
 )
 from repro.core.exploration import (
+    CostedEvaluation,
     CrossLayerExplorer,
     EvaluatedDesign,
     ExplorationRecord,
@@ -33,9 +34,11 @@ from repro.core.improvement import (
     sdc_improvement,
     sdc_targets,
 )
-from repro.core.schedule import ProtectionSchedule, ScheduleStep
+from repro.core.schedule import CostedPlan, ProtectionSchedule, ScheduleStep
 
 __all__ = [
+    "CostedEvaluation",
+    "CostedPlan",
     "CrossLayerCombination",
     "combination_counts",
     "enumerate_combinations",

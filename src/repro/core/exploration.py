@@ -118,6 +118,34 @@ class EvaluatedDesign:
 
 
 @dataclass(frozen=True)
+class CostedEvaluation:
+    """One (combination, target) point costed without materialising a design.
+
+    Numerically bit-identical to :class:`EvaluatedDesign` -- improvements
+    come from the same schedule curves and the cost from the schedule's
+    incremental cost curves -- it just never builds the
+    :class:`ProtectedDesign`.  Streaming consumers (frontier sweeps, the
+    pruned cheapest search) run on this; call
+    :meth:`CrossLayerExplorer.evaluate` when the design itself is needed.
+    """
+
+    combination: CrossLayerCombination
+    target: ResilienceTarget
+    cost: CostReport
+    sdc_improvement: float
+    due_improvement: float
+    protected_flip_flops: int
+
+    @property
+    def meets_target(self) -> bool:
+        return self.target.satisfied_by(self.sdc_improvement, self.due_improvement)
+
+    @property
+    def energy_pct(self) -> float:
+        return self.cost.energy_pct
+
+
+@dataclass(frozen=True)
 class ExplorationRecord:
     """Streamed lightweight aggregate of one (combination, target) evaluation.
 
@@ -280,15 +308,18 @@ class CrossLayerExplorer:
         self._fixed_cache[key] = result
         return result
 
+    def _schedule_for(self, combination: CrossLayerCombination):
+        return self._planner.schedule_for(
+            recovery=combination.recovery,
+            policy=self._policy_for(combination),
+            high_level=self._high_level_descriptors(combination))
+
     def evaluate(self, combination: CrossLayerCombination,
                  target: ResilienceTarget) -> EvaluatedDesign:
         """Build and cost the cheapest design for one combination and target."""
         if combination.has_tunable_technique:
-            schedule = self._planner.schedule_for(
-                recovery=combination.recovery,
-                policy=self._policy_for(combination),
-                high_level=self._high_level_descriptors(combination))
-            result = schedule.plan(target, label=combination.label)
+            result = self._schedule_for(combination).plan(target,
+                                                          label=combination.label)
             design = result.design
             protected = result.protected_count
             sdc, due = result.achieved_sdc, result.achieved_due
@@ -299,6 +330,28 @@ class CrossLayerExplorer:
         return EvaluatedDesign(combination=combination, target=target, design=design,
                                cost=cost, sdc_improvement=sdc, due_improvement=due,
                                protected_flip_flops=protected)
+
+    def evaluate_costed(self, combination: CrossLayerCombination,
+                        target: ResilienceTarget) -> CostedEvaluation:
+        """Cost one (combination, target) pair from the schedule's curves.
+
+        Bit-identical numbers to :meth:`evaluate` without materialising the
+        design: tunable combinations answer from the cached
+        :class:`ProtectionSchedule`'s improvement *and* incremental cost
+        curves, non-tunable ones from the per-context fixed cache.
+        """
+        if combination.has_tunable_technique:
+            costed = self._schedule_for(combination).plan_costed(target,
+                                                                 self.cost_model)
+            cost = costed.cost
+            protected = costed.protected_count
+            sdc, due = costed.achieved_sdc, costed.achieved_due
+        else:
+            _, sdc, due, cost = self._fixed_design(combination)
+            protected = 0
+        return CostedEvaluation(combination=combination, target=target, cost=cost,
+                                sdc_improvement=sdc, due_improvement=due,
+                                protected_flip_flops=protected)
 
     def evaluate_reference(self, combination: CrossLayerCombination,
                            target: ResilienceTarget) -> EvaluatedDesign:
@@ -331,8 +384,12 @@ class CrossLayerExplorer:
 
     def record(self, combination: CrossLayerCombination, target: ResilienceTarget,
                combination_index: int = 0, target_index: int = 0) -> ExplorationRecord:
-        """Evaluate one pair into a lightweight streaming record."""
-        evaluated = self.evaluate(combination, target)
+        """Evaluate one pair into a lightweight streaming record.
+
+        Runs on the design-free :meth:`evaluate_costed` path -- records only
+        ever carry aggregates, so sweeps never pay for materialisation.
+        """
+        evaluated = self.evaluate_costed(combination, target)
         return ExplorationRecord(
             combination_index=combination_index, target_index=target_index,
             label=combination.label, target_label=target.label,
@@ -428,7 +485,9 @@ class CrossLayerExplorer:
         Candidates are visited in ascending order of their fixed-cost energy
         lower bound; the search stops as soon as the incumbent's energy is
         below every remaining bound.  Ties are broken by enumeration order,
-        matching the historical first-minimum semantics exactly.
+        matching the historical first-minimum semantics exactly.  Candidates
+        are costed from the incremental cost curves; only the winner is
+        materialised into a design.
         """
         pool = combinations if combinations is not None \
             else enumerate_combinations(self.family)
@@ -439,18 +498,20 @@ class CrossLayerExplorer:
             return min(evaluated, key=lambda e: e.cost.energy_pct)
         bounds = [self.fixed_energy_lower_bound(combination) for combination in pool]
         order = sorted(range(len(pool)), key=lambda i: (bounds[i], i))
-        best: EvaluatedDesign | None = None
+        best_index: int | None = None
         best_key: tuple[float, int] | None = None
         for i in order:
             if best_key is not None and bounds[i] > best_key[0]:
                 break
-            evaluated = self.evaluate(pool[i], target)
-            if not evaluated.meets_target:
+            costed = self.evaluate_costed(pool[i], target)
+            if not costed.meets_target:
                 continue
-            key = (evaluated.cost.energy_pct, i)
+            key = (costed.cost.energy_pct, i)
             if best_key is None or key < best_key:
-                best, best_key = evaluated, key
-        return best
+                best_index, best_key = i, key
+        if best_index is None:
+            return None
+        return self.evaluate(pool[best_index], target)
 
     # ------------------------------------------------------------------ named combinations
     def named_combination(self, names: tuple[str, ...],

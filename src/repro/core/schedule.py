@@ -9,6 +9,11 @@ curves (Eq. 1, including the evolving parity-γ) -- and answers any target by
 locating its first crossing on the curve: O(ffs) once per schedule plus
 O(log ffs) per target, instead of O(ffs) per (combination, target) pair.
 
+Cost is answered the same way: :meth:`ProtectionSchedule.plan_costed` reads
+energy/area/execution-time for a prefix from incremental cost curves
+(memoised per cost model, bit-identical to materialising the design and
+costing it), so streaming sweeps never rebuild parity plans per target.
+
 Bit-exactness with per-target replanning
 (:meth:`repro.core.heuristics.SelectiveHardeningPlanner.plan_replanning`) is
 guaranteed by construction and property-tested:
@@ -27,7 +32,7 @@ guaranteed by construction and property-tested:
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from enum import Enum, unique
 
@@ -35,11 +40,17 @@ from repro.core.improvement import ResilienceTarget
 from repro.faultinjection.vulnerability import VulnerabilityMap
 from repro.microarch.flipflop import FlipFlopRegistry
 from repro.physical.cells import CellType, RecoveryKind
+from repro.physical.costmodel import CostReport, DesignCostModel, ParityGroupPlan
 from repro.physical.timing import TimingModel
-from repro.resilience.base import TechniqueDescriptor
+from repro.resilience.base import TechniqueDescriptor, core_family
 from repro.resilience.circuit import HardeningPlan
 from repro.resilience.design import ProtectedDesign, RESIDUAL_FLOOR_FRACTION
-from repro.resilience.logic_parity import ParityHeuristic, ParityPlanner, UNPIPELINED_GROUP_SIZE
+from repro.resilience.logic_parity import (
+    ParityHeuristic,
+    ParityPlanner,
+    PIPELINED_GROUP_SIZE,
+    UNPIPELINED_GROUP_SIZE,
+)
 
 #: LEAP-DICE-class residual soft-error rate (Table 4), as a suppression
 #: probability.  Shared with the legacy replanning loop.
@@ -63,6 +74,21 @@ class SelectiveHardeningResult:
     protected_count: int
     achieved_sdc: float
     achieved_due: float
+
+
+@dataclass(frozen=True)
+class CostedPlan:
+    """One target answered from the improvement *and* cost curves.
+
+    Carries everything streaming exploration needs -- achieved improvements
+    plus the exact :class:`CostReport` of the prefix design -- without ever
+    materialising the :class:`ProtectedDesign` itself.
+    """
+
+    protected_count: int
+    achieved_sdc: float
+    achieved_due: float
+    cost: CostReport
 
 
 @dataclass(frozen=True)
@@ -134,6 +160,14 @@ class ProtectionSchedule:
         self._baseline_sdc = baseline_sdc
         self._baseline_due = baseline_due
         self._gamma_fixed = gamma_fixed
+        # (unit, 32-bit slack) per parity site, filled lazily by the cost
+        # curves; keyed by flat index so the finite and full walks share it.
+        self._parity_site_info: dict[int, tuple[str, bool]] = {}
+        # One (cost model, {prefix or "full" -> CostReport}) memo entry:
+        # schedules live inside a planner that serves one explorer with one
+        # cost model, so a single identity-checked slot memoises the whole
+        # sweep without pinning every model ever passed.
+        self._cost_curve_entry: tuple[DesignCostModel, dict] | None = None
         self._walk(residual_sdc, residual_due)
         self._build_records()
 
@@ -165,6 +199,13 @@ class ProtectionSchedule:
         start = self._improvements(0, sum_sdc, sum_due)
         curve_sdc = [start[0]]
         curve_due = [start[1]]
+        # Cumulative membership counts accumulated alongside the improvement
+        # curves: the cost curves read prefix membership from these instead
+        # of re-scanning the walk per target.
+        cum_hardened = [0]
+        cum_eds = [0]
+        parity_prefix_ends: list[int] = []   # prefix length that admits member i
+        parity_flats: list[int] = []
         for step in self.steps:
             site_sdc = residual_sdc[step.flat_index]
             site_due = residual_due[step.flat_index]
@@ -183,14 +224,25 @@ class ProtectionSchedule:
                     sum_sdc -= site_sdc
             if not step.zero_residual:
                 effective.append(step)
-                if step.choice is LowLevelChoice.PARITY:
+                is_parity = step.choice is LowLevelChoice.PARITY
+                if is_parity:
                     parity_finite += 1
+                    parity_prefix_ends.append(len(effective))
+                    parity_flats.append(step.flat_index)
+                cum_hardened.append(cum_hardened[-1]
+                                    + (step.choice is LowLevelChoice.LEAP_DICE))
+                cum_eds.append(cum_eds[-1]
+                               + (step.choice is LowLevelChoice.EDS))
                 achieved = self._improvements(parity_finite, sum_sdc, sum_due)
                 curve_sdc.append(achieved[0])
                 curve_due.append(achieved[1])
         self._effective = effective
         self._curve_sdc = curve_sdc
         self._curve_due = curve_due
+        self._cum_hardened = cum_hardened
+        self._cum_eds = cum_eds
+        self._parity_prefix_ends = parity_prefix_ends
+        self._parity_flats = parity_flats
         self._full_achieved = self._improvements(parity_full, sum_sdc, sum_due)
 
     def _build_records(self) -> None:
@@ -283,3 +335,167 @@ class ProtectionSchedule:
         return SelectiveHardeningResult(design=design, protected_count=protected,
                                         achieved_sdc=achieved_sdc,
                                         achieved_due=achieved_due)
+
+    # ------------------------------------------------------------------ cost curves
+    #
+    # The walk's membership at any prefix determines its physical cost, and
+    # the cost computation factors through counts alone: hardened cells and
+    # EDS cost linearly in their counts, and the Fig. 3 "optimized" parity
+    # grouping produces group *sizes* that depend only on how many members
+    # each (functional unit, slack class) bucket holds.  The helpers below
+    # recompute `ProtectedDesign.cost` term for term from that membership --
+    # same conditionals, same combine order, same per-group arithmetic -- so
+    # the answers are bit-identical to materialising the design, at
+    # O(prefix + groups) per (memoised) prefix instead of a full
+    # materialise + cost per target.
+
+    def _parity_info(self, flat_index: int) -> tuple[str, bool]:
+        info = self._parity_site_info.get(flat_index)
+        if info is None:
+            info = (self.registry.unit_of(flat_index),
+                    self.timing.supports_unpipelined(flat_index,
+                                                     UNPIPELINED_GROUP_SIZE))
+            self._parity_site_info[flat_index] = info
+        return info
+
+    def _classify_parity(self, flat_indices: list[int]) -> tuple[list, list]:
+        """Split parity members into (flat index, unit) slack-class buckets."""
+        slack_members: list[tuple[int, str]] = []
+        pipelined_members: list[tuple[int, str]] = []
+        for flat_index in flat_indices:
+            unit, has_slack = self._parity_info(flat_index)
+            bucket = slack_members if has_slack else pipelined_members
+            bucket.append((flat_index, unit))
+        return slack_members, pipelined_members
+
+    def _cost_membership(self, steps: list[ScheduleStep],
+                         ) -> tuple[int, int, list, list]:
+        """Counts and parity (flat index, unit) pairs of one step sequence."""
+        hardened = 0
+        eds = 0
+        parity_flats: list[int] = []
+        for step in steps:
+            if step.choice is LowLevelChoice.LEAP_DICE:
+                hardened += 1
+            elif step.choice is LowLevelChoice.PARITY:
+                parity_flats.append(step.flat_index)
+            else:
+                eds += 1
+        slack_members, pipelined_members = self._classify_parity(parity_flats)
+        return hardened, eds, slack_members, pipelined_members
+
+    @staticmethod
+    def _bucket_group_sizes(members: list[tuple[int, str]],
+                            group_size: int) -> list[int]:
+        """Group sizes of one slack class, in the planner's canonical order.
+
+        Mirrors ``ParityPlanner._locality_groups``: members sorted by flat
+        index, units in first-appearance order, each unit chunked into full
+        groups plus one remainder.
+        """
+        by_unit: dict[str, int] = {}
+        for _, unit in sorted(members):
+            by_unit[unit] = by_unit.get(unit, 0) + 1
+        sizes: list[int] = []
+        for count in by_unit.values():
+            sizes.extend([group_size] * (count // group_size))
+            if count % group_size:
+                sizes.append(count % group_size)
+        return sizes
+
+    def _parity_plans(self, slack_members: list, pipelined_members: list,
+                      ) -> list[ParityGroupPlan]:
+        """The optimized-heuristic group plan (sizes are all the model reads)."""
+        plans = [ParityGroupPlan(members=(0,) * size, pipelined=False, local=True)
+                 for size in self._bucket_group_sizes(slack_members,
+                                                      UNPIPELINED_GROUP_SIZE)]
+        plans.extend(ParityGroupPlan(members=(0,) * size, pipelined=True, local=True)
+                     for size in self._bucket_group_sizes(pipelined_members,
+                                                          PIPELINED_GROUP_SIZE))
+        return plans
+
+    def _cost_of_membership(self, cost_model: DesignCostModel, hardened: int,
+                            eds: int, slack_members: list,
+                            pipelined_members: list) -> CostReport:
+        report = CostReport()
+        if hardened and self.hardening_cell is not CellType.BASELINE:
+            report = report.combined_with(
+                cost_model.hardened_cells_cost({self.hardening_cell: hardened}))
+        plans = self._parity_plans(slack_members, pipelined_members)
+        if plans:
+            report = report.combined_with(cost_model.parity_cost(plans))
+        if eds:
+            report = report.combined_with(cost_model.eds_cost(eds))
+        if self.recovery is not RecoveryKind.NONE:
+            report = report.combined_with(cost_model.recovery_report(self.recovery))
+        family = core_family(self.registry.core_name)
+        for technique in self.high_level:
+            costs = technique.costs(family)
+            report = report.combined_with(cost_model.fixed_overhead(
+                costs.area_pct, costs.power_pct, costs.exec_time_pct))
+        return report
+
+    def _cost_memo(self, cost_model: DesignCostModel) -> dict:
+        entry = self._cost_curve_entry
+        if entry is None or entry[0] is not cost_model:
+            entry = (cost_model, {})
+            self._cost_curve_entry = entry
+        return entry[1]
+
+    def cost_at(self, prefix: int, cost_model: DesignCostModel) -> CostReport:
+        """Exact cost of the finite-walk prefix design (no materialisation).
+
+        Membership comes straight from the cumulative counts recorded during
+        the walk -- O(parity members + groups) per uncached prefix.
+        """
+        memo = self._cost_memo(cost_model)
+        report = memo.get(prefix)
+        if report is None:
+            parity_count = bisect_right(self._parity_prefix_ends, prefix)
+            slack_members, pipelined_members = self._classify_parity(
+                self._parity_flats[:parity_count])
+            report = self._cost_of_membership(
+                cost_model, self._cum_hardened[prefix], self._cum_eds[prefix],
+                slack_members, pipelined_members)
+            memo[prefix] = report
+        return report
+
+    def full_cost(self, cost_model: DesignCostModel) -> CostReport:
+        """Exact cost of the protect-everything walk (no materialisation)."""
+        memo = self._cost_memo(cost_model)
+        report = memo.get("full")
+        if report is None:
+            report = self._cost_of_membership(
+                cost_model, *self._cost_membership(self.steps))
+            memo["full"] = report
+        return report
+
+    def cost_curve(self, cost_model: DesignCostModel,
+                   ) -> list[tuple[int, CostReport]]:
+        """The cumulative (protected count, cost) curve of the finite walk.
+
+        The companion of :meth:`improvement_curve`: index ``k`` costs the
+        same design whose improvements sit at curve index ``k``.
+        """
+        return [(k, self.cost_at(k, cost_model))
+                for k in range(self.effective_length + 1)]
+
+    def plan_costed(self, target: ResilienceTarget,
+                    cost_model: DesignCostModel) -> CostedPlan:
+        """Answer one target with improvements and cost from the curves.
+
+        Bit-identical to ``plan(target).design.cost(cost_model)`` but never
+        builds the design -- this is what lets frontier sweeps and the pruned
+        cheapest search evaluate thousands of (combination, target) pairs
+        while materialising only the designs a caller actually asks for.
+        """
+        if self._protects_everything(target):
+            return CostedPlan(protected_count=len(self.steps),
+                              achieved_sdc=self._full_achieved[0],
+                              achieved_due=self._full_achieved[1],
+                              cost=self.full_cost(cost_model))
+        prefix = self.prefix_for(target)
+        return CostedPlan(protected_count=prefix,
+                          achieved_sdc=self._curve_sdc[prefix],
+                          achieved_due=self._curve_due[prefix],
+                          cost=self.cost_at(prefix, cost_model))

@@ -1,5 +1,11 @@
 """Reporting helpers used by the benchmark harness."""
 
-from repro.reporting.tables import format_frontier, format_series, format_table
+from repro.reporting.tables import (
+    format_frontier,
+    format_frontier_comparison,
+    format_series,
+    format_table,
+)
 
-__all__ = ["format_frontier", "format_series", "format_table"]
+__all__ = ["format_frontier", "format_frontier_comparison", "format_series",
+           "format_table"]

@@ -54,3 +54,27 @@ def format_frontier(title: str, frontier) -> str:
     return format_table(
         f"{title} ({len(frontier)} non-dominated of {frontier.seen} swept)",
         ["combination", "improvement", "energy %", "area %", "exec time %"], rows)
+
+
+def format_frontier_comparison(title: str, named_frontiers,
+                               thresholds: Sequence[float] = (10.0, 50.0)) -> str:
+    """Compare frontiers across runs (e.g. loaded from the frontier store).
+
+    ``named_frontiers`` is an iterable of ``(name, ParetoFrontier)`` pairs --
+    typically each persisted run plus their merge.  Per frontier the table
+    reports coverage, the best achieved improvement, and the cheapest energy
+    buying each improvement threshold (``-`` when the threshold is out of
+    reach).
+    """
+    rows = []
+    for name, frontier in named_frontiers:
+        best = max((p.improvement for p in frontier.points()), default=0.0)
+        row = [name, len(frontier), frontier.seen, round(best, 1)]
+        for threshold in thresholds:
+            cheapest = frontier.cheapest_at_least(threshold)
+            row.append("-" if cheapest is None
+                       else f"{cheapest.energy_pct:.1f}%")
+        rows.append(row)
+    headers = ["run", "points", "swept", "best improvement"]
+    headers.extend(f"energy @ >={threshold:g}x" for threshold in thresholds)
+    return format_table(title, headers, rows)

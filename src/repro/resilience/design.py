@@ -160,7 +160,13 @@ class ProtectedDesign:
         return (impact - 1.0) * 100.0
 
     def cost(self, cost_model: DesignCostModel) -> CostReport:
-        """Area/power/energy/execution-time overheads over the baseline core."""
+        """Area/power/energy/execution-time overheads over the baseline core.
+
+        Keep the term order and conditionals in sync with
+        ``ProtectionSchedule._cost_of_membership`` (repro/core/schedule.py),
+        which mirrors this computation for the design-free cost curves; the
+        bit-equality is property-tested in tests/test_exploration.py.
+        """
         report = CostReport()
         cell_counts = self.hardening.cell_counts()
         if cell_counts:

@@ -105,6 +105,10 @@ class ParityPlanner:
 
     def _locality_groups(self, flip_flops: list[int], group_size: int,
                          pipelined: bool | None) -> list[ParityGroup]:
+        # Keep in sync with ProtectionSchedule._bucket_group_sizes
+        # (repro/core/schedule.py), which reproduces this chunking from
+        # member counts for the incremental cost curves; the equivalence is
+        # property-tested in tests/test_exploration.py.
         groups: list[ParityGroup] = []
         by_unit: dict[str, list[int]] = {}
         for flat_index in sorted(flip_flops):

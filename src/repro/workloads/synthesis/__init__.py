@@ -12,7 +12,11 @@ A seeded, constrained-random program generator that turns the fixed
   golden outputs derived from the ISA reference simulator, registered with
   the workload registry at import;
 * :mod:`repro.workloads.synthesis.sweep` -- per-profile vulnerability sweeps
-  through the checkpointed parallel injection engine;
+  through the checkpointed parallel injection engine, optionally sharding
+  whole workload campaigns over worker processes;
+* :mod:`repro.workloads.synthesis.frontier` -- the synthesis-to-exploration
+  loop: sweep-measured vulnerability maps drive the cross-layer explorer
+  into persisted Pareto frontiers;
 * :mod:`repro.workloads.synthesis.calibration` -- measured-CPI calibration
   landing golden runs on the profile's cycle budget instead of the fixed
   CPI estimate.
@@ -40,6 +44,12 @@ from repro.workloads.synthesis.sweep import (
     SyntheticSweepResult,
     run_synthetic_sweep,
 )
+from repro.workloads.synthesis.frontier import (
+    SyntheticFrontierResult,
+    explore_synthetic_frontier,
+    explorer_for_sweep,
+    frontier_from_sweep,
+)
 
 __all__ = [
     "InstructionMix",
@@ -57,4 +67,8 @@ __all__ = [
     "ProfileVulnerability",
     "SyntheticSweepResult",
     "run_synthetic_sweep",
+    "SyntheticFrontierResult",
+    "explore_synthetic_frontier",
+    "explorer_for_sweep",
+    "frontier_from_sweep",
 ]

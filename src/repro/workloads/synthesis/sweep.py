@@ -5,25 +5,48 @@ generate a synthetic suite (every registered family, ``per_family`` members
 each -- 20 workloads with the five built-in families at the default), run a
 fault-injection campaign on each member through the checkpointed parallel
 engine, and aggregate a per-profile vulnerability table.  Campaign seeds are
-derived deterministically from the sweep seed, so results are bit-identical
-across repeated runs and across serial / process-pool executors.
+derived deterministically from the sweep seed -- and validated against
+cross-family block collisions -- so results are bit-identical across
+repeated runs and across serial / process-pool executors.
+
+With ``workers > 1`` the per-workload campaign loop itself is sharded over
+the engine's generic payload+shard executor layer
+(:class:`repro.engine.executors.ParallelExecutor`): workloads are generated
+up-front in the calling process, whole campaigns fan out to worker
+processes, and results are folded back in deterministic (family, member)
+order regardless of shard completion order.  Shared-mutable state stays out
+of the workers by construction: the :class:`VulnerabilityMap` is built only
+in the parent from the streamed results, and each worker process uses a
+private :class:`GoldenRunCache` (a cache cannot be shared across process
+boundaries; a caller-supplied cache is therefore only consulted on the
+serial path).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import EngineConfig, InjectionEngine
 from repro.engine.checkpoint import GoldenRunCache
+from repro.engine.executors import ParallelExecutor
 from repro.faultinjection.outcomes import OutcomeCounts
 from repro.faultinjection.vulnerability import VulnerabilityMap
+from repro.isa.program import Program
 from repro.microarch.core import BaseCore
 from repro.reporting import format_table
 from repro.workloads import suite as registry
-from repro.workloads.base import Workload
 
 _FAMILY_SEED_STRIDE = 100_003
 """Seed stride between families' campaign seed blocks."""
+
+_MAX_DERIVED_SEED = 2 ** 63 - 1
+"""Ceiling on every derived seed.  The engine multiplies campaign seeds by
+its chunk stride (``repro.engine.executors._SEED_STRIDE``) when deriving
+per-chunk seeds; keeping that product inside a signed 64-bit lane protects
+backends that narrow seeds (numpy bit generators, accelerator RNGs) from
+silent truncation -- the same bug class as the crc32/hash-randomization fix
+in ``faultinjection/calibrated.py``."""
 
 
 @dataclass
@@ -76,11 +99,140 @@ class SyntheticSweepResult:
             rows)
 
 
+# ---------------------------------------------------------------------- sharding
+@dataclass(frozen=True)
+class SweepUnit:
+    """One workload campaign of the sweep, fully resolved and picklable.
+
+    Carries the assembled :class:`Program` rather than the
+    :class:`~repro.workloads.base.Workload` (whose golden-reference closure
+    does not pickle); the campaign seed is derived up-front so it is
+    independent of executor choice, sharding and completion order.
+    """
+
+    family_index: int
+    family: str
+    offset: int
+    workload_name: str
+    program: Program
+    campaign_seed: int
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """A contiguous slice of the sweep's campaign units."""
+
+    index: int
+    units: tuple[SweepUnit, ...]
+
+
+@dataclass
+class SweepShardResult:
+    """Streamed aggregate for one executed sweep shard (unit order)."""
+
+    index: int
+    results: list
+
+
+@dataclass
+class SweepSpec:
+    """Everything a worker needs to run sweep campaigns.
+
+    ``config`` always has ``workers == 1``: shard workers run their campaigns
+    serially (the parallelism lives at the workload level), which avoids
+    nested process pools.
+    """
+
+    core: BaseCore
+    injections: int
+    config: EngineConfig
+
+
+def evaluate_sweep_shard(spec: SweepSpec, shard: SweepShard) -> SweepShardResult:
+    """Run every campaign of one shard (worker entry point).
+
+    Each invocation builds a private :class:`GoldenRunCache`: golden runs
+    depend only on (core, program) and every unit's program is distinct, so
+    nothing is lost -- and no cache object is ever shared across processes.
+    """
+    cache = GoldenRunCache()
+    results = [_run_campaign(spec.core, unit.program, seed=unit.campaign_seed,
+                             injections=spec.injections, config=spec.config,
+                             cache=cache)
+               for unit in shard.units]
+    return SweepShardResult(index=shard.index, results=results)
+
+
+def _shard_units(units: list[SweepUnit], workers: int,
+                 chunk_size: int | None = None) -> list[SweepShard]:
+    """Split the unit list into contiguous shards (~4 per worker)."""
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(units) / max(1, workers * 4)))
+    chunk_size = max(1, chunk_size)
+    return [SweepShard(index=index, units=tuple(units[start:start + chunk_size]))
+            for index, start in enumerate(range(0, len(units), chunk_size))]
+
+
+def _run_units_sharded(core: BaseCore, units: list[SweepUnit], injections: int,
+                       config: EngineConfig | None, workers: int,
+                       chunk_size: int | None) -> list:
+    """Fan campaigns out over the process pool; results in unit order."""
+    inner = replace(config or EngineConfig(), workers=1)
+    spec = SweepSpec(core=core, injections=injections, config=inner)
+    shards = _shard_units(units, workers, chunk_size)
+    executor = ParallelExecutor(workers=workers)
+    by_index: dict[int, list] = {}
+    for shard_result in executor.stream(spec, shards, evaluate_sweep_shard):
+        by_index[shard_result.index] = shard_result.results
+    return [result for index in range(len(shards))
+            for result in by_index[index]]
+
+
+# ---------------------------------------------------------------------- validation
+def _validate_sweep_seeds(seed: int, per_family: int, family_count: int,
+                          injections_per_workload: int) -> None:
+    """Reject parameter choices that would silently collide seed blocks.
+
+    Family ``f``'s member ``i`` campaigns with seed
+    ``seed + f * _FAMILY_SEED_STRIDE + i``; ``per_family >=
+    _FAMILY_SEED_STRIDE`` would overlap adjacent families' blocks and
+    silently correlate their injection streams.  Large seeds are bounded so
+    the engine's derived per-chunk seeds stay inside 64 signed bits (see
+    :data:`_MAX_DERIVED_SEED`).
+    """
+    if per_family < 1:
+        raise ValueError(f"per_family must be >= 1, got {per_family}")
+    if injections_per_workload < 1:
+        raise ValueError("injections_per_workload must be >= 1, got "
+                         f"{injections_per_workload}")
+    if per_family >= _FAMILY_SEED_STRIDE:
+        raise ValueError(
+            f"per_family={per_family} reaches the family seed stride "
+            f"({_FAMILY_SEED_STRIDE}): member seed blocks of adjacent "
+            f"families would overlap and their campaigns would share "
+            f"injection streams.  Split the sweep across several seeds "
+            f"instead.")
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    largest = seed + max(0, family_count - 1) * _FAMILY_SEED_STRIDE \
+        + (per_family - 1)
+    from repro.engine.executors import _SEED_STRIDE as _CHUNK_STRIDE
+    if largest * _CHUNK_STRIDE >= _MAX_DERIVED_SEED:
+        raise ValueError(
+            f"seed={seed} is too large: the derived per-chunk campaign seeds "
+            f"(up to ~{largest * _CHUNK_STRIDE:.2e}) would overflow a signed "
+            f"64-bit lane and could be silently truncated by narrowing RNG "
+            f"backends.  Use a seed below "
+            f"{_MAX_DERIVED_SEED // _CHUNK_STRIDE - largest + seed}.")
+
+
+# ---------------------------------------------------------------------- sweep
 def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
                         injections_per_workload: int = 40,
                         families: list[str] | None = None,
                         config: EngineConfig | None = None,
                         golden_cache: GoldenRunCache | None = None,
+                        workers: int = 1, chunk_size: int | None = None,
                         **profile_overrides) -> SyntheticSweepResult:
     """Generate a synthetic suite and sweep vulnerability across its profiles.
 
@@ -89,38 +241,65 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
     generation.  The campaign seed of family ``f``'s member ``i`` is
     ``seed + f * stride + i`` -- independent of executor choice, worker count
     and chunking, which is what makes the sweep reproducible bit-for-bit.
+
+    ``workers > 1`` shards whole workload campaigns over the engine's
+    process-pool executor (each worker running its campaigns serially);
+    results are identical to the serial loop.  ``golden_cache`` is consulted
+    only on the serial path -- worker processes build private caches, so a
+    shared cache object is never mutated across processes.
     """
     family_names = families if families is not None else registry.family_names()
-    cache = golden_cache if golden_cache is not None else GoldenRunCache()
-    vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
-    profiles: list[ProfileVulnerability] = []
-    campaign_results = []
+    _validate_sweep_seeds(seed, per_family, len(family_names),
+                          injections_per_workload)
+    units: list[SweepUnit] = []
     for family_index, family in enumerate(family_names):
         workloads = registry.build_family(family, seed=seed, count=per_family,
                                           **profile_overrides)
         base_seed = seed + family_index * _FAMILY_SEED_STRIDE
-        outcomes = OutcomeCounts()
-        golden_cycles = 0
-        names = []
         for offset, workload in enumerate(workloads):
-            result = _run_one(core, workload, seed=base_seed + offset,
-                              injections=injections_per_workload,
-                              config=config, cache=cache)
-            result.contribute_to(vulnerability)
-            outcomes = outcomes.merged_with(result.outcomes)
-            golden_cycles += result.golden.cycles
-            names.append(workload.name)
-            campaign_results.append(result)
-        profiles.append(ProfileVulnerability(
-            family=family, workload_names=names, outcomes=outcomes,
-            golden_cycles=golden_cycles))
+            units.append(SweepUnit(
+                family_index=family_index, family=family, offset=offset,
+                workload_name=workload.name, program=workload.program(),
+                campaign_seed=base_seed + offset))
+
+    if workers > 1 and len(units) > 1:
+        results = _run_units_sharded(core, units, injections_per_workload,
+                                     config, workers, chunk_size)
+    else:
+        cache = golden_cache if golden_cache is not None else GoldenRunCache()
+        results = [_run_campaign(core, unit.program, seed=unit.campaign_seed,
+                                 injections=injections_per_workload,
+                                 config=config, cache=cache)
+                   for unit in units]
+
+    # Fold in (family, member) order -- deterministic however shards landed.
+    vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
+    profiles: list[ProfileVulnerability] = []
+    last_family_index = None
+    campaign_results = []
+    for unit, result in zip(units, results):
+        result.contribute_to(vulnerability)
+        campaign_results.append(result)
+        if unit.family_index != last_family_index:
+            profiles.append(ProfileVulnerability(
+                family=unit.family, workload_names=[],
+                outcomes=OutcomeCounts(), golden_cycles=0))
+            last_family_index = unit.family_index
+        profile = profiles[-1]
+        profile.workload_names.append(unit.workload_name)
+        profile.outcomes = profile.outcomes.merged_with(result.outcomes)
+        profile.golden_cycles += result.golden.cycles
     return SyntheticSweepResult(core_name=core.name, seed=seed,
                                 profiles=profiles, vulnerability=vulnerability,
                                 campaign_results=campaign_results)
 
 
-def _run_one(core: BaseCore, workload: Workload, seed: int, injections: int,
-             config: EngineConfig | None, cache: GoldenRunCache):
-    engine = InjectionEngine(core, workload.program(), seed=seed,
-                             config=config, golden_cache=cache)
+def _run_campaign(core: BaseCore, program: Program, seed: int, injections: int,
+                  config: EngineConfig | None, cache: GoldenRunCache):
+    """One workload campaign.  The seed handoff is pure integer arithmetic
+    end to end (sweep seed -> campaign seed -> ``random.Random`` /
+    ``uniform_injection_plan`` -> chunk seeds); no ``hash()``-style
+    per-process randomization anywhere in the chain."""
+    engine = InjectionEngine(core, program, seed=seed, config=config,
+                             golden_cache=cache)
     return engine.run(injections=injections)

@@ -7,10 +7,13 @@ Covers the invariants the exploration refactor rests on:
 2. the incremental explorer matches the replan-from-scratch reference
    evaluation, including non-tunable and high-level combinations;
 3. sharded record streaming is independent of worker count and sharding;
-4. ParetoFrontier dominance, pruning and order-independence;
+4. ParetoFrontier dominance, pruning and order-independence (labels
+   included, via the deterministic coordinate tie-break);
 5. the incumbent/lower-bound pruned cheapest-combination search returns the
    exhaustive search's answer;
-6. measured-CPI calibration of synthetic cycle budgets.
+6. the design-free costed evaluation path (incremental cost curves) is
+   bit-identical to materialising and costing the design;
+7. measured-CPI calibration of synthetic cycle budgets.
 """
 
 from __future__ import annotations
@@ -135,6 +138,54 @@ class TestExplorerEquivalence:
                 assert incremental.due_improvement == reference.due_improvement
                 assert incremental.protected_flip_flops == reference.protected_flip_flops
 
+    def test_costed_evaluation_matches_materialised(self, ino_framework, sample):
+        """The incremental cost curves reproduce design costing bit-for-bit."""
+        explorer = ino_framework.explorer
+        targets = (ResilienceTarget(sdc=5), ResilienceTarget(due=17.3),
+                   ResilienceTarget(sdc=50, due=10),
+                   ResilienceTarget(sdc=float("inf")))
+        for combination in sample:
+            for target in targets:
+                costed = explorer.evaluate_costed(combination, target)
+                materialised = explorer.evaluate(combination, target)
+                assert costed.cost == materialised.cost
+                assert costed.sdc_improvement == materialised.sdc_improvement
+                assert costed.due_improvement == materialised.due_improvement
+                assert costed.protected_flip_flops == materialised.protected_flip_flops
+                assert costed.meets_target == materialised.meets_target
+
+    def test_costed_evaluation_matches_materialised_ooo(self, ooo_framework):
+        explorer = ooo_framework.explorer
+        for combination in enumerate_combinations("OoO")[::67]:
+            for target in (ResilienceTarget(sdc=50), ResilienceTarget(sdc=float("inf"))):
+                costed = explorer.evaluate_costed(combination, target)
+                materialised = explorer.evaluate(combination, target)
+                assert costed.cost == materialised.cost
+                assert costed.sdc_improvement == materialised.sdc_improvement
+
+    def test_cost_curve_aligns_with_improvement_curve(self, ino_framework):
+        """Curve index k costs the same design the improvements describe."""
+        planner = SelectiveHardeningPlanner(ino_framework.core.registry,
+                                            ino_framework.vulnerability,
+                                            ino_framework.timing,
+                                            ino_framework.benchmark_names())
+        schedule = planner.schedule_for(recovery=RecoveryKind.FLUSH)
+        cost_model = ino_framework.cost_model
+        curve = schedule.cost_curve(cost_model)
+        assert len(curve) == schedule.effective_length + 1
+        assert curve[0][1].area_pct >= 0.0
+        # Spot-check three prefixes against full materialisation.
+        from repro.core.schedule import materialise_design
+
+        for prefix in (0, schedule.effective_length // 2, schedule.effective_length):
+            report = schedule.cost_at(prefix, cost_model)
+            hardened, parity, eds = schedule._membership(schedule._effective[:prefix])
+            design = materialise_design(schedule.registry, schedule.timing,
+                                        schedule.vulnerability, hardened, parity,
+                                        eds, schedule.recovery,
+                                        list(schedule.high_level), "spot")
+            assert report == design.cost(cost_model)
+
     def test_fixed_combinations_cached_across_targets(self, ino_framework):
         explorer = ino_framework.explorer
         combination = explorer.named_combination(("dfc",))
@@ -230,6 +281,40 @@ class TestParetoFrontier:
         backward.update(list(reversed(points)))
         coords = lambda f: sorted((p.improvement, p.energy_pct) for p in f)
         assert coords(forward) == coords(backward) == [(10, 1.0), (50, 2.0), (60, 9.0)]
+
+    def test_coordinate_ties_keep_smallest_label(self):
+        """Exact-coordinate duplicates fold to the smallest label, both ways."""
+        for order in ((("b", "a"), ("a", "b"))):
+            frontier = ParetoFrontier()
+            for label in order:
+                frontier.add(self._point(50, 2.0, label=label))
+            assert [p.label for p in frontier.points()] == ["a"]
+            assert frontier.seen == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_frontier_invariant_under_insertion_order(self, data):
+        """The frontier -- labels and payloads included -- is a pure function
+        of the offered point *set*, not of shard completion order.
+
+        Regression: the old "first one wins" duplicate folding leaked the
+        insertion order into the surviving label under workers=N streaming.
+        """
+        coordinate = st.sampled_from((1.0, 2.0, 5.0, 50.0))
+        base_points = data.draw(st.lists(
+            st.builds(lambda i, e, label: ParetoPoint(
+                improvement=i, energy_pct=e, area_pct=1.0, exec_time_pct=0.0,
+                label=label, payload=("payload", label)),
+                coordinate, coordinate, st.sampled_from("abcdef")),
+            min_size=1, max_size=8), label="points")
+        permutation = data.draw(st.permutations(base_points), label="order")
+        reference, permuted = ParetoFrontier(), ParetoFrontier()
+        reference.update(base_points)
+        permuted.update(permutation)
+        describe = lambda f: [(p.improvement, p.energy_pct, p.label, p.payload)
+                              for p in f.points()]
+        assert describe(reference) == describe(permuted)
+        assert reference.seen == permuted.seen == len(base_points)
 
     def test_cheapest_at_least_and_envelope(self):
         frontier = ParetoFrontier()

@@ -209,6 +209,21 @@ class TestSuiteForCore:
 
 
 # ---------------------------------------------------------------------- sweep
+def _assert_sweeps_identical(serial, other, total_flip_flops):
+    assert [p.family for p in other.profiles] == \
+           [p.family for p in serial.profiles]
+    for mine, theirs in zip(serial.profiles, other.profiles):
+        assert mine.outcomes.as_dict() == theirs.outcomes.as_dict()
+        assert mine.workload_names == theirs.workload_names
+        assert mine.golden_cycles == theirs.golden_cycles
+    names = serial.workload_names
+    for flat_index in range(0, total_flip_flops, 37):
+        assert serial.vulnerability.sdc_probability(flat_index, names) == \
+               other.vulnerability.sdc_probability(flat_index, names)
+        assert serial.vulnerability.due_probability(flat_index, names) == \
+               other.vulnerability.due_probability(flat_index, names)
+
+
 class TestSyntheticSweep:
     def test_seeded_sweep_is_reproducible_and_executor_independent(self, ino_core):
         """The acceptance path: one seeded call generates a >=20-workload
@@ -225,12 +240,49 @@ class TestSyntheticSweep:
         assert len(serial.workload_names) >= 20
         assert serial.table().count("\n") >= len(serial.profiles)
         for other in (repeat, pooled):
-            assert [p.family for p in other.profiles] == \
-                   [p.family for p in serial.profiles]
-            for mine, theirs in zip(serial.profiles, other.profiles):
-                assert mine.outcomes.as_dict() == theirs.outcomes.as_dict()
-                assert mine.workload_names == theirs.workload_names
-                assert mine.golden_cycles == theirs.golden_cycles
+            _assert_sweeps_identical(serial, other, ino_core.flip_flop_count)
+
+    def test_workload_sharded_sweep_matches_serial_loop(self, ino_core):
+        """Sharding whole campaigns over the executor layer is bit-exact."""
+        kwargs = dict(seed=11, per_family=2, injections_per_workload=3, **QUICK)
+        serial = run_synthetic_sweep(ino_core, workers=1, **kwargs)
+        sharded = run_synthetic_sweep(ino_core, workers=2, **kwargs)
+        odd_chunks = run_synthetic_sweep(ino_core, workers=3, chunk_size=3,
+                                         **kwargs)
+        _assert_sweeps_identical(serial, sharded, ino_core.flip_flop_count)
+        _assert_sweeps_identical(serial, odd_chunks, ino_core.flip_flop_count)
+
+    def test_workload_sharded_sweep_matches_serial_loop_ooo(self, ooo_core):
+        kwargs = dict(seed=11, per_family=1, injections_per_workload=2,
+                      families=["mixed", "arithmetic_dense"], **QUICK)
+        serial = run_synthetic_sweep(ooo_core, workers=1, **kwargs)
+        sharded = run_synthetic_sweep(ooo_core, workers=2, chunk_size=1,
+                                      **kwargs)
+        _assert_sweeps_identical(serial, sharded, ooo_core.flip_flop_count)
+
+    def test_sharded_sweep_leaves_caller_cache_untouched(self, ino_core):
+        # Worker processes build private golden-run caches; the caller's
+        # cache must never be consulted (or mutated) on the sharded path.
+        cache = GoldenRunCache()
+        run_synthetic_sweep(ino_core, seed=3, per_family=1,
+                            injections_per_workload=2, workers=2,
+                            families=["mixed", "control_heavy"],
+                            golden_cache=cache, **QUICK)
+        assert len(cache) == 0 and cache.misses == 0
+
+    def test_seed_block_collisions_rejected(self, ino_core):
+        from repro.workloads.synthesis.sweep import _FAMILY_SEED_STRIDE
+
+        with pytest.raises(ValueError, match="family seed stride"):
+            run_synthetic_sweep(ino_core, per_family=_FAMILY_SEED_STRIDE)
+        with pytest.raises(ValueError, match="non-negative"):
+            run_synthetic_sweep(ino_core, seed=-1)
+        with pytest.raises(ValueError, match="64-bit"):
+            run_synthetic_sweep(ino_core, seed=2 ** 62)
+        with pytest.raises(ValueError, match="per_family"):
+            run_synthetic_sweep(ino_core, per_family=0)
+        with pytest.raises(ValueError, match="injections_per_workload"):
+            run_synthetic_sweep(ino_core, injections_per_workload=0)
 
     def test_sweep_builds_vulnerability_map_for_dependence_analysis(self, ino_core):
         sweep = run_synthetic_sweep(ino_core, seed=5, per_family=1,
