@@ -1,18 +1,25 @@
-"""Injection-engine scaling: full re-simulation vs checkpointed vs parallel.
+"""Injection-engine scaling: full re-simulation vs checkpoints vs convergence.
 
 Measures campaign throughput (injections/second) for the same fixed-seed
-campaign on a >=5k-cycle workload under three execution strategies:
+campaign on a >=5k-cycle workload under four execution strategies:
 
 * ``serial, no checkpoints`` -- every injected run re-simulates from cycle 0
-  (the pre-engine behaviour, ``EngineConfig(checkpoint_interval=0)``);
+  to termination (the pre-engine behaviour,
+  ``EngineConfig(checkpoint_interval=0, convergence=False)``);
 * ``serial, checkpointed`` -- injected runs fast-forward from the nearest
-  golden-run snapshot at or below their injection cycle;
-* ``parallel, checkpointed`` -- the checkpointed plan sharded over worker
+  golden-run snapshot but still simulate to termination
+  (``convergence=False``, the pre-convergence baseline);
+* ``serial, converged`` -- checkpointed replay plus convergence-gated early
+  termination: an injected run stops the moment its state fingerprint
+  re-converges with the golden run's dense fingerprint grid;
+* ``parallel, converged`` -- the convergence-gated plan sharded over worker
   processes.
 
-All three report identical outcome statistics (asserted below); golden-run
-recording time is excluded via a warm cache, matching the steady-state
-regime of multi-config campaigns.
+All four report identical outcome statistics (asserted below), and the
+convergence gate must cut the simulated injected-run cycles of the
+checkpointed baseline by at least 30% (asserted below; typically it is well
+above 60%).  Golden-run recording time is excluded via a warm cache,
+matching the steady-state regime of multi-config campaigns.
 """
 
 from __future__ import annotations
@@ -30,20 +37,26 @@ from repro.workloads import workload_by_name
 WORKLOAD = "mcf"          # 7.4k golden cycles on the InO-core
 INJECTIONS = 30
 PARALLEL_WORKERS = max(2, min(os.cpu_count() or 1, 4))
+MIN_SAVED_CYCLE_FRACTION = 0.30
+"""Acceptance floor: convergence gating must remove at least this fraction
+of the simulated injected-run cycles on the standard campaign."""
 
 
 def bench_engine_scaling(benchmark):
     def payload():
         program = workload_by_name(WORKLOAD).program()
         modes = [
-            ("serial, no checkpoints", EngineConfig(checkpoint_interval=0)),
-            ("serial, checkpointed", EngineConfig()),
-            (f"parallel x{PARALLEL_WORKERS}, checkpointed",
+            ("serial, no checkpoints",
+             EngineConfig(checkpoint_interval=0, convergence=False)),
+            ("serial, checkpointed", EngineConfig(convergence=False)),
+            ("serial, converged", EngineConfig()),
+            (f"parallel x{PARALLEL_WORKERS}, converged",
              EngineConfig(workers=PARALLEL_WORKERS)),
         ]
         rows = []
         reference = None
         baseline_rate = None
+        checkpointed_cycles = None
         for label, config in modes:
             cache = GoldenRunCache()
             engine = InjectionEngine(InOrderCore(), program, seed=9,
@@ -56,19 +69,32 @@ def bench_engine_scaling(benchmark):
                 reference = result.outcomes
             assert result.outcomes == reference, \
                 "execution strategies must report identical statistics"
+            if label == "serial, checkpointed":
+                checkpointed_cycles = result.replayed_cycles
+            if config.convergence_enabled and checkpointed_cycles:
+                saved_fraction = 1 - result.replayed_cycles / checkpointed_cycles
+                assert saved_fraction >= MIN_SAVED_CYCLE_FRACTION, (
+                    f"convergence gating saved only {saved_fraction:.0%} of "
+                    f"the checkpointed baseline's simulated cycles "
+                    f"(floor {MIN_SAVED_CYCLE_FRACTION:.0%})")
             rate = INJECTIONS / elapsed
             if baseline_rate is None:
                 baseline_rate = rate
             rows.append([label, checkpointed.checkpoint_count,
+                         checkpointed.fingerprint_count,
+                         result.replayed_cycles,
+                         f"{100 * result.saved_cycle_fraction:.0f}%",
                          f"{elapsed:.2f}s", f"{rate:.1f}",
                          f"{rate / baseline_rate:.2f}x"])
         return rows
 
     rows = run_once(benchmark, payload)
-    headers = ["strategy", "checkpoints", "wall time", "injections/s", "speedup"]
+    headers = ["strategy", "checkpoints", "fingerprints", "replayed cycles",
+               "cycles saved", "wall time", "injections/s", "speedup"]
     persist_bench("engine", headers, rows,
                   context={"workload": WORKLOAD, "injections": INJECTIONS,
-                           "parallel_workers": PARALLEL_WORKERS})
+                           "parallel_workers": PARALLEL_WORKERS,
+                           "min_saved_cycle_fraction": MIN_SAVED_CYCLE_FRACTION})
     print()
     print(format_table(
         f"Engine scaling: {INJECTIONS} injections on {WORKLOAD} (InO-core)",

@@ -45,9 +45,14 @@ def main(injections: int = 150, workers: int = 2, seed: int = 1) -> None:
     checkpointed = GOLDEN_RUN_CACHE.get(core, program)
     print(f"\nGolden run: {checkpointed.golden.cycles} cycles, "
           f"{checkpointed.checkpoint_count} checkpoints "
-          f"every {checkpointed.interval} cycles")
+          f"every {checkpointed.interval} cycles, "
+          f"{checkpointed.fingerprint_count} fingerprints "
+          f"every {checkpointed.fingerprint_interval} cycles")
     print(f"Baseline campaign: {baseline.injections} injections "
           f"(margin of error {100 * baseline.achieved_margin_of_error:.1f}%)")
+    print(f"Convergence gating: {baseline.converged_count}/{baseline.injections} "
+          f"runs early-terminated, "
+          f"{100 * baseline.saved_cycle_fraction:.0f}% of replay cycles skipped")
     for outcome, count in baseline.outcomes.as_dict().items():
         print(f"  {outcome:22s} {count}")
 

@@ -17,8 +17,10 @@ thin shim over this package.
 
 from repro.engine.checkpoint import (
     DEFAULT_MAX_CHECKPOINTS,
+    DEFAULT_MAX_FINGERPRINTS,
     GOLDEN_RUN_CACHE,
     CheckpointedGoldenRun,
+    GoldenCacheStats,
     GoldenRunCache,
     record_checkpointed_golden,
 )
@@ -35,6 +37,7 @@ from repro.engine.executors import (
     ChunkSpec,
     ParallelExecutor,
     PlannedInjection,
+    Replay,
     SerialExecutor,
     execute_chunk,
     replay_planned_injection,
@@ -43,8 +46,10 @@ from repro.engine.executors import (
 
 __all__ = [
     "DEFAULT_MAX_CHECKPOINTS",
+    "DEFAULT_MAX_FINGERPRINTS",
     "GOLDEN_RUN_CACHE",
     "CheckpointedGoldenRun",
+    "GoldenCacheStats",
     "GoldenRunCache",
     "record_checkpointed_golden",
     "CampaignResult",
@@ -57,6 +62,7 @@ __all__ = [
     "ChunkSpec",
     "ParallelExecutor",
     "PlannedInjection",
+    "Replay",
     "SerialExecutor",
     "execute_chunk",
     "replay_planned_injection",

@@ -33,6 +33,20 @@ DEFAULT_MAX_CHECKPOINTS = 48
 thins existing snapshots) whenever the budget is exceeded, so memory stays
 bounded regardless of how long the golden run turns out to be."""
 
+FINGERPRINT_DENSITY = 8
+"""How much denser the adaptive fingerprint grid starts than the snapshot
+grid.  A fingerprint is a 16-byte digest where a snapshot is a full state
+copy, so the grid the convergence check probes can afford to be ~8-16x
+finer -- the finer the grid, the earlier a re-converged injected run is
+caught."""
+
+INITIAL_FINGERPRINT_INTERVAL = INITIAL_CHECKPOINT_INTERVAL // FINGERPRINT_DENSITY
+"""Starting fingerprint spacing for the adaptive recorder."""
+
+DEFAULT_MAX_FINGERPRINTS = DEFAULT_MAX_CHECKPOINTS * 16
+"""Fingerprint-count budget, with the same doubling/thinning policy as the
+snapshot budget (16 bytes each, so the grid stays ~12 KiB at worst)."""
+
 
 @dataclass
 class CheckpointedGoldenRun:
@@ -43,11 +57,19 @@ class CheckpointedGoldenRun:
             unrecorded run would produce -- recording only observes).
         snapshots: core snapshots in ascending cycle order.
         interval: final snapshot spacing in cycles.
+        fingerprints: dense grid of :meth:`BaseCore.state_fingerprint`
+            digests, keyed by cycle.  An injected run whose fingerprint
+            equals ``fingerprints[c]`` at cycle ``c`` is bit-identical to the
+            golden run from ``c`` onwards and can stop simulating.
+        fingerprint_interval: final fingerprint spacing in cycles (0 when no
+            grid was recorded).
     """
 
     golden: RunResult
     snapshots: list[CoreSnapshot] = field(default_factory=list)
     interval: int = 0
+    fingerprints: dict[int, bytes] = field(default_factory=dict)
+    fingerprint_interval: int = 0
 
     def __post_init__(self) -> None:
         self._cycles = [snapshot.cycle for snapshot in self.snapshots]
@@ -62,6 +84,10 @@ class CheckpointedGoldenRun:
     @property
     def checkpoint_count(self) -> int:
         return len(self.snapshots)
+
+    @property
+    def fingerprint_count(self) -> int:
+        return len(self.fingerprints)
 
 
 class _CheckpointRecorder:
@@ -83,27 +109,81 @@ class _CheckpointRecorder:
                               if s.cycle % self.interval == 0]
 
 
+class _FingerprintRecorder:
+    """Cycle hook that fingerprints the core on an (adaptively growing) grid.
+
+    Same doubling/thinning policy as the snapshot recorder, but the grid
+    starts :data:`FINGERPRINT_DENSITY` times finer -- a fingerprint is a
+    16-byte digest, not a state copy.
+    """
+
+    def __init__(self, interval: int | None, max_fingerprints: int):
+        self.adaptive = interval is None
+        self.interval = interval if interval else max(
+            1, INITIAL_FINGERPRINT_INTERVAL)
+        self.max_fingerprints = max(1, max_fingerprints)
+        self.fingerprints: dict[int, bytes] = {}
+
+    def __call__(self, core: BaseCore, cycle: int) -> None:
+        if cycle == 0 or cycle % self.interval != 0:
+            return
+        self.fingerprints[cycle] = core.state_fingerprint()
+        if self.adaptive and len(self.fingerprints) > self.max_fingerprints:
+            self.interval *= 2
+            self.fingerprints = {c: digest
+                                 for c, digest in self.fingerprints.items()
+                                 if c % self.interval == 0}
+
+
 def record_checkpointed_golden(core: BaseCore, program: Program,
                                interval: int | None = None,
                                max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
                                max_cycles: int = DEFAULT_MAX_CYCLES,
+                               fingerprint_interval: int | None = None,
+                               max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
                                ) -> CheckpointedGoldenRun:
-    """Run ``program`` on ``core`` once, recording periodic snapshots.
+    """Run ``program`` on ``core`` once, recording snapshots + fingerprints.
 
-    ``interval=None`` selects the adaptive grid (bounded snapshot count for
-    any run length); ``interval=0`` disables checkpointing entirely (the
-    result carries the golden run only, and every injected run replays from
-    cycle 0 -- the pre-engine behaviour, kept for benchmarking baselines).
+    ``interval=None`` selects the adaptive snapshot grid (bounded snapshot
+    count for any run length); ``interval=0`` disables checkpointing entirely
+    (every injected run replays from cycle 0 -- the pre-engine behaviour,
+    kept for benchmarking baselines).  ``fingerprint_interval`` works the
+    same way for the dense convergence grid: ``None`` adapts from a grid
+    :data:`FINGERPRINT_DENSITY` times finer than the snapshot grid, ``0``
+    records no fingerprints (injected runs always simulate to termination --
+    the pre-convergence baseline).
     """
     if interval is not None and interval < 0:
         raise ValueError(f"checkpoint interval must be >= 0, got {interval}")
-    if interval == 0:
-        golden = core.run(program, max_cycles=max_cycles)
-        return CheckpointedGoldenRun(golden=golden, snapshots=[], interval=0)
-    recorder = _CheckpointRecorder(interval, max_checkpoints)
-    golden = core.run(program, max_cycles=max_cycles, cycle_hook=recorder)
-    return CheckpointedGoldenRun(golden=golden, snapshots=recorder.snapshots,
-                                 interval=recorder.interval)
+    if fingerprint_interval is not None and fingerprint_interval < 0:
+        raise ValueError(f"fingerprint interval must be >= 0, "
+                         f"got {fingerprint_interval}")
+    hooks = []
+    checkpointer = None
+    if interval != 0:
+        checkpointer = _CheckpointRecorder(interval, max_checkpoints)
+        hooks.append(checkpointer)
+    fingerprinter = None
+    if fingerprint_interval != 0:
+        fingerprinter = _FingerprintRecorder(fingerprint_interval,
+                                             max_fingerprints)
+        hooks.append(fingerprinter)
+    if not hooks:
+        hook = None
+    elif len(hooks) == 1:
+        hook = hooks[0]
+    else:
+        def hook(core: BaseCore, cycle: int,
+                 _hooks: tuple = tuple(hooks)) -> None:
+            for recorder in _hooks:
+                recorder(core, cycle)
+    golden = core.run(program, max_cycles=max_cycles, cycle_hook=hook)
+    return CheckpointedGoldenRun(
+        golden=golden,
+        snapshots=checkpointer.snapshots if checkpointer else [],
+        interval=checkpointer.interval if checkpointer else 0,
+        fingerprints=fingerprinter.fingerprints if fingerprinter else {},
+        fingerprint_interval=(fingerprinter.interval if fingerprinter else 0))
 
 
 def _program_fingerprint(program: Program) -> tuple:
@@ -114,15 +194,37 @@ def _program_fingerprint(program: Program) -> tuple:
             tuple(encode_instruction(i) for i in program.instructions))
 
 
+@dataclass(frozen=True)
+class GoldenCacheStats:
+    """Point-in-time health readout of one :class:`GoldenRunCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
 class GoldenRunCache:
     """LRU cache of checkpointed golden runs, keyed by (core, program).
 
     The key is the core's name plus a content fingerprint of the program, so
     repeated campaigns on the same workload -- e.g. one per protection
     configuration -- pay for the golden run and its snapshots exactly once.
+
+    ``max_entries`` bounds memory: a multi-family synthetic sweep touches one
+    distinct program per workload, so suites wider than the default of 8
+    should raise it (``run_suite_campaign``/``run_synthetic_sweep`` expose a
+    ``max_cache_entries`` knob) -- :meth:`stats` makes thrash visible.
     """
 
     def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, CheckpointedGoldenRun] = OrderedDict()
         self.hits = 0
@@ -131,14 +233,18 @@ class GoldenRunCache:
     def get(self, core: BaseCore, program: Program, *,
             interval: int | None = None,
             max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
-            max_cycles: int = DEFAULT_MAX_CYCLES) -> CheckpointedGoldenRun:
+            max_cycles: int = DEFAULT_MAX_CYCLES,
+            fingerprint_interval: int | None = None,
+            max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+            ) -> CheckpointedGoldenRun:
         """Return the checkpointed golden run, recording it on first use."""
         # Core class and flip-flop count guard against two differently-built
         # cores sharing a user-supplied name: a snapshot restored onto the
         # wrong model would misclassify every outcome.
         key = (type(core).__qualname__, core.name, core.flip_flop_count,
                _program_fingerprint(program), interval,
-               max_checkpoints, max_cycles)
+               max_checkpoints, max_cycles, fingerprint_interval,
+               max_fingerprints)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
@@ -147,11 +253,18 @@ class GoldenRunCache:
         self.misses += 1
         recorded = record_checkpointed_golden(
             core, program, interval=interval, max_checkpoints=max_checkpoints,
-            max_cycles=max_cycles)
+            max_cycles=max_cycles, fingerprint_interval=fingerprint_interval,
+            max_fingerprints=max_fingerprints)
         self._entries[key] = recorded
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
         return recorded
+
+    def stats(self) -> GoldenCacheStats:
+        """Hit/miss/size counters since construction (or the last clear)."""
+        return GoldenCacheStats(hits=self.hits, misses=self.misses,
+                                entries=len(self._entries),
+                                max_entries=self.max_entries)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -160,6 +273,23 @@ class GoldenRunCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def resolve_golden_cache(golden_cache: GoldenRunCache | None,
+                         max_cache_entries: int | None,
+                         ) -> GoldenRunCache | None:
+    """Resolve the exclusive (``golden_cache``, ``max_cache_entries``) pair
+    the suite/sweep runners accept.
+
+    Returns the explicit cache, a fresh cache sized to ``max_cache_entries``,
+    or None when neither was given (the caller then applies its own default).
+    """
+    if max_cache_entries is None:
+        return golden_cache
+    if golden_cache is not None:
+        raise ValueError("pass either golden_cache or max_cache_entries, "
+                         "not both")
+    return GoldenRunCache(max_entries=max_cache_entries)
 
 
 GOLDEN_RUN_CACHE = GoldenRunCache()

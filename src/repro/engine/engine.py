@@ -26,9 +26,11 @@ from typing import TYPE_CHECKING
 
 from repro.engine.checkpoint import (
     DEFAULT_MAX_CHECKPOINTS,
+    DEFAULT_MAX_FINGERPRINTS,
     GOLDEN_RUN_CACHE,
     CheckpointedGoldenRun,
     GoldenRunCache,
+    resolve_golden_cache,
 )
 from repro.engine.executors import (
     CampaignExecutor,
@@ -68,6 +70,17 @@ class EngineConfig:
             gives each worker a handful of chunks (load balancing without
             drowning in per-chunk pickling).
         max_cycles: golden-run watchdog.
+        convergence: gate injected runs on golden-run fingerprint
+            convergence -- once an injected core's full architectural state
+            re-converges with the golden run at a grid cycle, the remainder
+            is bit-identical by construction and is skipped.  ``False``
+            restores the pre-convergence behaviour (full replay to
+            termination, no fingerprint grid recorded) for benchmarking.
+        convergence_interval: fingerprint-grid spacing in cycles.  ``None``
+            (default) adapts a grid ~8-16x denser than the snapshot grid
+            under a bounded budget; ``0`` disables the grid (same baseline
+            as ``convergence=False``).
+        max_fingerprints: fingerprint budget for the adaptive grid spacing.
     """
 
     checkpoint_interval: int | None = None
@@ -75,6 +88,13 @@ class EngineConfig:
     workers: int = 1
     chunk_size: int | None = None
     max_cycles: int = DEFAULT_MAX_CYCLES
+    convergence: bool = True
+    convergence_interval: int | None = None
+    max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS
+
+    @property
+    def convergence_enabled(self) -> bool:
+        return self.convergence and self.convergence_interval != 0
 
 
 class InjectionEngine:
@@ -106,7 +126,10 @@ class InjectionEngine:
             self.core, self.program,
             interval=self.config.checkpoint_interval,
             max_checkpoints=self.config.max_checkpoints,
-            max_cycles=self.config.max_cycles)
+            max_cycles=self.config.max_cycles,
+            fingerprint_interval=(self.config.convergence_interval
+                                  if self.config.convergence_enabled else 0),
+            max_fingerprints=self.config.max_fingerprints)
 
     # ------------------------------------------------------------------ planning
     def resolve_plan(self, plan: list[Injection]) -> list[PlannedInjection]:
@@ -154,11 +177,18 @@ class InjectionEngine:
         planned = self.resolve_plan(plan)
         chunks = shard_plan(planned, self.seed, self._chunk_size(len(planned)))
         spec = CampaignSpec(core=self.core, program=self.program,
-                            checkpointed=checkpointed)
+                            checkpointed=checkpointed,
+                            convergence=self.config.convergence_enabled)
         outcomes = OutcomeCounts()
         per_site: dict[int, OutcomeCounts] = {}
+        replayed_cycles = 0
+        converged_count = 0
+        saved_cycles = 0
         for chunk_result in self._executor.run_chunks(spec, chunks):
             outcomes = outcomes.merged_with(chunk_result.outcomes)
+            replayed_cycles += chunk_result.replayed_cycles
+            converged_count += chunk_result.converged_count
+            saved_cycles += chunk_result.saved_cycles
             for flat_index, counts in chunk_result.per_site.items():
                 merged = per_site.get(flat_index)
                 per_site[flat_index] = (counts if merged is None
@@ -166,22 +196,30 @@ class InjectionEngine:
         return CampaignResult(core_name=self.core.name,
                               program_name=self.program.name,
                               golden=golden, outcomes=outcomes,
-                              per_site=per_site)
+                              per_site=per_site,
+                              replayed_cycles=replayed_cycles,
+                              converged_count=converged_count,
+                              saved_cycles=saved_cycles)
 
 
 def run_suite_campaign(core: BaseCore, workloads,
                        injections_per_workload: int = 100,
                        protection: ProtectionProvider | None = None,
                        seed: int = 0, config: EngineConfig | None = None,
-                       golden_cache: GoldenRunCache | None = None):
+                       golden_cache: GoldenRunCache | None = None,
+                       max_cache_entries: int | None = None):
     """Run engine-backed campaigns over workloads and build a vulnerability map.
 
     Returns ``(vulnerability_map, [CampaignResult, ...])``.  Workload ``i``
     runs with seed ``seed + i``, matching the historical suite runner, and
-    all campaigns share one golden-run cache.
+    all campaigns share one golden-run cache.  ``max_cache_entries`` sizes a
+    fresh private cache to the suite (one golden run per workload; the
+    default process-wide cache holds 8 entries and thrashes on wider
+    suites); it cannot be combined with an explicit ``golden_cache``.
     """
     from repro.faultinjection.vulnerability import VulnerabilityMap
 
+    golden_cache = resolve_golden_cache(golden_cache, max_cache_entries)
     vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
     results = []
     for offset, workload in enumerate(workloads):

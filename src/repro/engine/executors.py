@@ -28,7 +28,7 @@ binding the generic layer to :func:`execute_chunk`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator, Protocol, TypeVar
 
 from repro.faultinjection.injector import (
@@ -39,8 +39,8 @@ from repro.faultinjection.injector import (
 )
 from repro.faultinjection.outcomes import OutcomeCategory, OutcomeCounts, classify_outcome
 from repro.isa.program import Program
-from repro.microarch.core import BaseCore
-from repro.microarch.events import RunResult
+from repro.microarch.core import BaseCore, CycleHook
+from repro.microarch.events import RunResult, TerminationReason
 from repro.engine.checkpoint import CheckpointedGoldenRun
 
 _SEED_STRIDE = 1_000_003
@@ -63,11 +63,17 @@ class PlannedInjection:
 
 @dataclass
 class CampaignSpec:
-    """Everything a worker needs to replay injections for one campaign."""
+    """Everything a worker needs to replay injections for one campaign.
+
+    ``convergence`` gates early termination of injected runs whose state
+    fingerprint re-converges with the golden run's grid; set it to False to
+    force full replay to termination (the pre-convergence baseline).
+    """
 
     core: BaseCore
     program: Program
     checkpointed: CheckpointedGoldenRun
+    convergence: bool = True
 
 
 @dataclass
@@ -90,12 +96,25 @@ class ChunkSpec:
 
 @dataclass
 class ChunkResult:
-    """Streamed aggregate for one executed chunk."""
+    """Streamed aggregate for one executed chunk.
+
+    Attributes:
+        outcomes / per_site: classification tallies.
+        replayed_cycles: cycles actually simulated across the chunk's
+            injected runs (after checkpoint fast-forward and convergence
+            early-out).
+        converged_count: injected runs terminated early because their state
+            fingerprint re-converged with the golden grid.
+        saved_cycles: cycles those early-outs skipped (golden termination
+            cycle minus convergence cycle, summed).
+    """
 
     index: int
     outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
     per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
     replayed_cycles: int = 0
+    converged_count: int = 0
+    saved_cycles: int = 0
 
     def record(self, flat_index: int, outcome: OutcomeCategory) -> None:
         self.outcomes.record(outcome)
@@ -111,42 +130,130 @@ def shard_plan(planned: list[PlannedInjection], seed: int,
             for index, start in enumerate(range(0, len(planned), chunk_size))]
 
 
+class _ConvergedEarly(Exception):
+    """Raised from the convergence hook to abort a provably-decided replay."""
+
+    def __init__(self, cycle: int):
+        super().__init__(f"re-converged with the golden run at cycle {cycle}")
+        self.cycle = cycle
+
+
+def _convergence_hook(inner: CycleHook, injection_cycle: int,
+                      checkpointed: CheckpointedGoldenRun) -> CycleHook:
+    """Wrap the injection hook with the fingerprint convergence check.
+
+    At every fingerprint-grid cycle strictly after the injection, the
+    injected core's :meth:`~repro.microarch.core.BaseCore.state_fingerprint`
+    is compared against the golden grid.  The fingerprint covers exactly the
+    state a snapshot round-trips -- latches, microarchitecture, memory,
+    emitted-output prefix, detection/recovery log -- so a match means the
+    remainder of the run is bit-identical to the golden run by construction
+    (a run that raised a detection, scheduled a recovery, or diverged in
+    output can never match) and simulation can stop on the spot.
+    """
+    fingerprints = checkpointed.fingerprints
+    interval = checkpointed.fingerprint_interval
+
+    def hook(core: BaseCore, cycle: int) -> None:
+        inner(core, cycle)
+        if cycle > injection_cycle and cycle % interval == 0:
+            expected = fingerprints.get(cycle)
+            if expected is not None and core.state_fingerprint() == expected:
+                raise _ConvergedEarly(cycle)
+
+    return hook
+
+
+@dataclass(frozen=True)
+class Replay:
+    """Everything one injected replay produced.
+
+    Attributes:
+        result: the injected :class:`RunResult` -- synthesized from the
+            golden run when the replay converged early (bit-identical to what
+            full simulation would have returned).
+        outcome: classification of ``result`` against the golden run.
+        resumed_from: cycle of the restored snapshot (0 = ran from reset).
+        simulated_cycles: cycles actually simulated.
+        converged_at: grid cycle at which the run re-converged with the
+            golden run, or None when it simulated to termination.
+    """
+
+    result: RunResult
+    outcome: OutcomeCategory
+    resumed_from: int
+    simulated_cycles: int
+    converged_at: int | None = None
+
+    @property
+    def saved_cycles(self) -> int:
+        """Cycles the convergence early-out skipped (0 for full replays)."""
+        if self.converged_at is None:
+            return 0
+        return self.result.cycles - self.converged_at
+
+
 def replay_planned_injection(core: BaseCore, program: Program,
                              planned: PlannedInjection,
                              checkpointed: CheckpointedGoldenRun,
-                             ) -> tuple[RunResult, OutcomeCategory, int]:
-    """Run one injection, fast-forwarding from the nearest golden snapshot.
+                             convergence: bool = True) -> Replay:
+    """Run one injection, fast-forwarding from the nearest golden snapshot
+    and early-terminating once the run provably re-converges.
 
     Restoring the latest snapshot at or before the injection cycle is exact:
     the injection hook cannot have fired earlier, so the pre-injection prefix
     of the run is identical to the golden run the snapshot was taken from.
 
-    Returns ``(injected_run, outcome, resumed_from_cycle)`` where the last
-    element is 0 when no snapshot preceded the injection cycle.
+    With ``convergence`` enabled (and a fingerprint grid recorded), the
+    injected core's state fingerprint is checked at grid cycles after the
+    injection; on a match the remainder of the run is bit-identical to the
+    golden run, so the replay stops and returns a synthesized copy of the
+    golden :class:`RunResult` -- classified exactly as the full run would
+    have been (VANISHED whenever the golden run terminated normally).
+    Golden runs that hit the watchdog are never gated: their injected
+    watchdog differs, so the tail is not reproducible from the grid.
     """
     golden = checkpointed.golden
     watchdog = injection_watchdog(golden)
     hook = build_injection_hook(planned.injection, planned.protection,
                                 planned.suppressed)
+    if (convergence and checkpointed.fingerprint_interval > 0
+            and checkpointed.fingerprints
+            and golden.reason is not TerminationReason.HANG):
+        hook = _convergence_hook(hook, planned.injection.cycle, checkpointed)
     snapshot = checkpointed.nearest(planned.injection.cycle)
-    if snapshot is None:
-        injected = core.run(program, max_cycles=watchdog, cycle_hook=hook)
-        resumed_from = 0
-    else:
-        injected = core.resume(program, snapshot, max_cycles=watchdog,
-                               cycle_hook=hook)
-        resumed_from = snapshot.cycle
-    return injected, classify_outcome(golden, injected), resumed_from
+    resumed_from = 0 if snapshot is None else snapshot.cycle
+    try:
+        if snapshot is None:
+            injected = core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        else:
+            injected = core.resume(program, snapshot, max_cycles=watchdog,
+                                   cycle_hook=hook)
+    except _ConvergedEarly as converged:
+        injected = replace(golden, output=list(golden.output),
+                           detections=list(golden.detections))
+        return Replay(result=injected,
+                      outcome=classify_outcome(golden, injected),
+                      resumed_from=resumed_from,
+                      simulated_cycles=converged.cycle - resumed_from,
+                      converged_at=converged.cycle)
+    return Replay(result=injected, outcome=classify_outcome(golden, injected),
+                  resumed_from=resumed_from,
+                  simulated_cycles=injected.cycles - resumed_from)
 
 
 def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     """Replay every injection of one chunk and aggregate the outcomes."""
     result = ChunkResult(index=chunk.index)
     for planned in chunk.planned:
-        injected, outcome, resumed_from = replay_planned_injection(
-            spec.core, spec.program, planned, spec.checkpointed)
-        result.replayed_cycles += injected.cycles - resumed_from
-        result.record(planned.injection.flat_index, outcome)
+        replay = replay_planned_injection(spec.core, spec.program, planned,
+                                          spec.checkpointed,
+                                          convergence=spec.convergence)
+        result.replayed_cycles += replay.simulated_cycles
+        if replay.converged_at is not None:
+            result.converged_count += 1
+            result.saved_cycles += replay.saved_cycles
+        result.record(planned.injection.flat_index, replay.outcome)
     return result
 
 

@@ -31,23 +31,55 @@ from repro.microarch.core import BaseCore
 from repro.microarch.events import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.checkpoint import GoldenRunCache
     from repro.engine.engine import EngineConfig
     from repro.faultinjection.vulnerability import VulnerabilityMap
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated results of one injection campaign."""
+    """Aggregated results of one injection campaign.
+
+    Beyond the outcome tallies, the result carries the engine's replay
+    telemetry so the cost of the campaign -- and the cycles the
+    convergence-gated early termination saved -- is measurable per campaign:
+
+    Attributes:
+        replayed_cycles: cycles actually simulated across all injected runs
+            (after checkpoint fast-forward and convergence early-outs).
+        converged_count: injected runs terminated early because their state
+            fingerprint re-converged with the golden run's grid.
+        saved_cycles: simulated cycles those early-outs skipped.
+    """
 
     core_name: str
     program_name: str
     golden: RunResult
     outcomes: OutcomeCounts
     per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
+    replayed_cycles: int = 0
+    converged_count: int = 0
+    saved_cycles: int = 0
 
     @property
     def injections(self) -> int:
         return self.outcomes.total
+
+    @property
+    def converged_fraction(self) -> float:
+        """Fraction of injected runs that early-terminated on convergence."""
+        return self.converged_count / self.injections if self.injections else 0.0
+
+    @property
+    def saved_cycle_fraction(self) -> float:
+        """Fraction of would-be replay cycles skipped by convergence gating.
+
+        The denominator is what full replay would have simulated
+        (``replayed + saved``), so 0.6 means convergence gating removed 60%
+        of the injected-run simulation work.
+        """
+        would_be = self.replayed_cycles + self.saved_cycles
+        return self.saved_cycles / would_be if would_be else 0.0
 
     @property
     def sdc_count(self) -> int:
@@ -113,10 +145,14 @@ def run_suite_campaign(core: BaseCore, workloads,
                        protection: ProtectionProvider | None = None,
                        seed: int = 0,
                        config: EngineConfig | None = None,
+                       golden_cache: GoldenRunCache | None = None,
+                       max_cache_entries: int | None = None,
                        ) -> tuple[VulnerabilityMap, list[CampaignResult]]:
     """Run campaigns over a list of workloads and build a vulnerability map."""
     from repro.engine.engine import run_suite_campaign as engine_suite
 
     return engine_suite(core, workloads,
                         injections_per_workload=injections_per_workload,
-                        protection=protection, seed=seed, config=config)
+                        protection=protection, seed=seed, config=config,
+                        golden_cache=golden_cache,
+                        max_cache_entries=max_cache_entries)

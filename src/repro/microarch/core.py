@@ -9,6 +9,8 @@ semantics are applied from the outside via per-cycle hooks.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from enum import Enum, unique
@@ -184,6 +186,18 @@ class BaseCore(ABC):
         same snapshot twice is safe.
         """
 
+    @abstractmethod
+    def _fingerprint_microarchitecture(self) -> tuple:
+        """Canonical hashable key over the state of
+        :meth:`_snapshot_microarchitecture`.
+
+        Must be a plain (picklable, deterministic) value covering every field
+        the snapshot captures, so that equal keys imply the snapshots would
+        restore identical microarchitectural state.  Unlike the snapshot it
+        never copies containers -- it only *reads* -- which is what makes
+        fingerprints cheap enough for a dense convergence grid.
+        """
+
     # ------------------------------------------------------------------ checkpointing
     def snapshot(self) -> CoreSnapshot:
         """Capture the complete simulation state at the current cycle boundary.
@@ -205,6 +219,35 @@ class BaseCore(ABC):
             latches=self.latches.serialize(),
             micro=self._snapshot_microarchitecture(),
         )
+
+    def state_fingerprint(self) -> bytes:
+        """Stable 128-bit digest of the complete simulation state.
+
+        The fingerprint hashes exactly the state :meth:`snapshot` captures
+        (and :meth:`restore` round-trips): cycle, retired count, emitted
+        output prefix, detection log, recovery bookkeeping, every latch value
+        and the core-specific microarchitectural key -- so two cores running
+        the same program with equal fingerprints at the same cycle provably
+        continue bit-identically from that cycle onwards.  That implication
+        is what lets the injection engine terminate an injected run the
+        moment its fingerprint re-converges with the golden run's.
+
+        Digests are deterministic across processes (no ``hash()``-style
+        per-process randomisation), so a grid recorded in the parent can be
+        compared against in pool workers.
+        """
+        if self.latches is None:
+            raise RuntimeError("core state was never finalised")
+        payload = (
+            self._cycle, self._retired, self._recovery_cycles,
+            self._pending_recovery, tuple(self._output),
+            tuple((d.technique, d.cycle, d.detail, d.recovered)
+                  for d in self._detections),
+            self.latches.fingerprint_key(),
+            self._fingerprint_microarchitecture(),
+        )
+        return hashlib.blake2b(pickle.dumps(payload, protocol=4),
+                               digest_size=16).digest()
 
     def restore(self, program: Program, snapshot: CoreSnapshot) -> None:
         """Adopt the state captured in ``snapshot`` for a run of ``program``.

@@ -203,6 +203,10 @@ class InOrderCore(BaseCore):
         self.memory.restore_words(micro["memory"])
         self._redirect_target = micro["redirect_target"]
 
+    def _fingerprint_microarchitecture(self) -> tuple:
+        return (tuple(self.registers), self.memory.fingerprint_key(),
+                self._redirect_target)
+
     # ------------------------------------------------------------------ helpers
     def _bubble(self, prefix: str) -> None:
         """Insert a bubble into the latch group with the given stage prefix."""

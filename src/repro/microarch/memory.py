@@ -58,10 +58,12 @@ class MemorySystem:
     def __init__(self, regions: tuple[MemoryRegion, ...] = DEFAULT_REGIONS):
         self._regions = regions
         self._words: dict[int, int] = {}
+        self._fingerprint_cache: tuple[tuple[int, int], ...] | None = None
 
     def reset(self, program: Program) -> None:
         """Clear memory and load the program's data segment."""
         self._words = dict(program.data.as_memory_image())
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------ checks
     def _check(self, address: int, *, aligned_to: int) -> None:
@@ -82,6 +84,7 @@ class MemorySystem:
     def store_word(self, address: int, value: int) -> None:
         self._check(address, aligned_to=WORD_BYTES)
         self._words[address] = value & 0xFFFFFFFF
+        self._fingerprint_cache = None
 
     def load_byte(self, address: int) -> int:
         self._check(address, aligned_to=1)
@@ -102,6 +105,7 @@ class MemorySystem:
         word &= ~(0xFF << shift)
         word |= (value & 0xFF) << shift
         self._words[word_address] = word
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------ checkpointing
     def snapshot_words(self) -> dict[int, int]:
@@ -111,6 +115,22 @@ class MemorySystem:
     def restore_words(self, words: dict[int, int]) -> None:
         """Replace memory contents with a copy captured by :meth:`snapshot_words`."""
         self._words = dict(words)
+        self._fingerprint_cache = None
+
+    def fingerprint_key(self) -> tuple[tuple[int, int], ...]:
+        """Canonical hashable key over memory contents (sorted nonzero words).
+
+        Zero-valued words are normalised away: an explicitly stored zero and
+        a never-touched word are architecturally indistinguishable (loads of
+        both return 0 and region checks ignore contents), so two memories
+        with equal keys behave identically from here on.  The sorted tuple is
+        cached and invalidated on writes, so back-to-back fingerprints of an
+        unchanged memory cost one dict lookup.
+        """
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = tuple(sorted(
+                item for item in self._words.items() if item[1]))
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------ export
     def dump_region(self, name: str) -> dict[int, int]:

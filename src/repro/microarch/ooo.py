@@ -295,6 +295,14 @@ class OutOfOrderCore(BaseCore):
         self._in_flight = [replace(op) for op in micro["in_flight"]]
         self._fetch_stalled = micro["fetch_stalled"]
 
+    def _fingerprint_microarchitecture(self) -> tuple:
+        return (tuple(self.registers), self.memory.fingerprint_key(),
+                tuple((op.rob_index, int(op.opcode), op.rs1_value,
+                       op.rs2_value, op.imm, op.pc, op.remaining_cycles,
+                       op.is_load, op.load_address)
+                      for op in self._in_flight),
+                self._fetch_stalled)
+
     # ------------------------------------------------------------------ cycle
     def _step_cycle(self) -> None:
         self._commit()

@@ -98,6 +98,15 @@ class LatchState:
         """
         return tuple(self._values[s.name] for s in self._registry.structures)
 
+    def fingerprint_key(self) -> tuple[int, ...]:
+        """Canonical hashable key over every latch value (registry order).
+
+        This is the latch contribution to :meth:`BaseCore.state_fingerprint`:
+        two cores with equal keys hold bit-identical flip-flop state, because
+        the frozen registry fixes both the structure set and its order.
+        """
+        return self.serialize()
+
     def deserialize(self, values: "tuple[int, ...] | list[int]") -> None:
         """Restore values captured by :meth:`serialize`.
 

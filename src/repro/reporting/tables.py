@@ -78,3 +78,18 @@ def format_frontier_comparison(title: str, named_frontiers,
     headers = ["run", "points", "swept", "best improvement"]
     headers.extend(f"energy @ >={threshold:g}x" for threshold in thresholds)
     return format_table(title, headers, rows)
+
+
+def format_golden_cache_stats(cache, title: str = "Golden-run cache") -> str:
+    """Render a :class:`repro.engine.GoldenRunCache` health readout.
+
+    A hit rate near zero on a repeated-workload run means the cache is
+    thrashing -- raise ``max_entries`` (suite and sweep runners expose it as
+    ``max_cache_entries``) so golden runs stop being re-recorded.
+    """
+    stats = cache.stats()
+    return format_table(title,
+                        ["hits", "misses", "hit rate", "entries", "capacity"],
+                        [[stats.hits, stats.misses,
+                          f"{100 * stats.hit_rate:.0f}%",
+                          stats.entries, stats.max_entries]])

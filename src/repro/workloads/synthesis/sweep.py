@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import EngineConfig, InjectionEngine
-from repro.engine.checkpoint import GoldenRunCache
+from repro.engine.checkpoint import GoldenRunCache, resolve_golden_cache
 from repro.engine.executors import ParallelExecutor
 from repro.faultinjection.outcomes import OutcomeCounts
 from repro.faultinjection.vulnerability import VulnerabilityMap
@@ -140,12 +140,19 @@ class SweepSpec:
 
     ``config`` always has ``workers == 1``: shard workers run their campaigns
     serially (the parallelism lives at the workload level), which avoids
-    nested process pools.
+    nested process pools.  ``max_cache_entries`` sizes each worker's private
+    golden-run cache (None = the :class:`GoldenRunCache` default).
     """
 
     core: BaseCore
     injections: int
     config: EngineConfig
+    max_cache_entries: int | None = None
+
+
+def _build_cache(max_cache_entries: int | None) -> GoldenRunCache:
+    cache = resolve_golden_cache(None, max_cache_entries)
+    return cache if cache is not None else GoldenRunCache()
 
 
 def evaluate_sweep_shard(spec: SweepSpec, shard: SweepShard) -> SweepShardResult:
@@ -155,7 +162,7 @@ def evaluate_sweep_shard(spec: SweepSpec, shard: SweepShard) -> SweepShardResult
     depend only on (core, program) and every unit's program is distinct, so
     nothing is lost -- and no cache object is ever shared across processes.
     """
-    cache = GoldenRunCache()
+    cache = _build_cache(spec.max_cache_entries)
     results = [_run_campaign(spec.core, unit.program, seed=unit.campaign_seed,
                              injections=spec.injections, config=spec.config,
                              cache=cache)
@@ -175,10 +182,12 @@ def _shard_units(units: list[SweepUnit], workers: int,
 
 def _run_units_sharded(core: BaseCore, units: list[SweepUnit], injections: int,
                        config: EngineConfig | None, workers: int,
-                       chunk_size: int | None) -> list:
+                       chunk_size: int | None,
+                       max_cache_entries: int | None = None) -> list:
     """Fan campaigns out over the process pool; results in unit order."""
     inner = replace(config or EngineConfig(), workers=1)
-    spec = SweepSpec(core=core, injections=injections, config=inner)
+    spec = SweepSpec(core=core, injections=injections, config=inner,
+                     max_cache_entries=max_cache_entries)
     shards = _shard_units(units, workers, chunk_size)
     executor = ParallelExecutor(workers=workers)
     by_index: dict[int, list] = {}
@@ -233,6 +242,7 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
                         config: EngineConfig | None = None,
                         golden_cache: GoldenRunCache | None = None,
                         workers: int = 1, chunk_size: int | None = None,
+                        max_cache_entries: int | None = None,
                         **profile_overrides) -> SyntheticSweepResult:
     """Generate a synthetic suite and sweep vulnerability across its profiles.
 
@@ -247,10 +257,15 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
     results are identical to the serial loop.  ``golden_cache`` is consulted
     only on the serial path -- worker processes build private caches, so a
     shared cache object is never mutated across processes.
+    ``max_cache_entries`` sizes the golden-run caches instead (serial path
+    and per-worker alike; the default of 8 thrashes once
+    ``len(families) * per_family`` exceeds it on a repeated sweep); it cannot
+    be combined with an explicit ``golden_cache``.
     """
     family_names = families if families is not None else registry.family_names()
     _validate_sweep_seeds(seed, per_family, len(family_names),
                           injections_per_workload)
+    resolved_cache = resolve_golden_cache(golden_cache, max_cache_entries)
     units: list[SweepUnit] = []
     for family_index, family in enumerate(family_names):
         workloads = registry.build_family(family, seed=seed, count=per_family,
@@ -264,9 +279,10 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
 
     if workers > 1 and len(units) > 1:
         results = _run_units_sharded(core, units, injections_per_workload,
-                                     config, workers, chunk_size)
+                                     config, workers, chunk_size,
+                                     max_cache_entries=max_cache_entries)
     else:
-        cache = golden_cache if golden_cache is not None else GoldenRunCache()
+        cache = resolved_cache if resolved_cache is not None else GoldenRunCache()
         results = [_run_campaign(core, unit.program, seed=unit.campaign_seed,
                                  injections=injections_per_workload,
                                  config=config, cache=cache)

@@ -270,6 +270,20 @@ class TestSyntheticSweep:
                             golden_cache=cache, **QUICK)
         assert len(cache) == 0 and cache.misses == 0
 
+    def test_max_cache_entries_sizes_private_caches(self, ino_core):
+        kwargs = dict(seed=3, per_family=2, injections_per_workload=2,
+                      families=["mixed", "control_heavy"], **QUICK)
+        sized = run_synthetic_sweep(ino_core, max_cache_entries=4, **kwargs)
+        default = run_synthetic_sweep(ino_core, **kwargs)
+        _assert_sweeps_identical(sized, default, ino_core.flip_flop_count)
+        # Sharded workers honour the knob too (bit-exact either way).
+        sharded = run_synthetic_sweep(ino_core, max_cache_entries=4,
+                                      workers=2, **kwargs)
+        _assert_sweeps_identical(sized, sharded, ino_core.flip_flop_count)
+        with pytest.raises(ValueError, match="not both"):
+            run_synthetic_sweep(ino_core, golden_cache=GoldenRunCache(),
+                                max_cache_entries=4, **kwargs)
+
     def test_seed_block_collisions_rejected(self, ino_core):
         from repro.workloads.synthesis.sweep import _FAMILY_SEED_STRIDE
 
