@@ -9,7 +9,11 @@ snapshot/restore support:
 * :mod:`repro.engine.executors` -- pluggable serial / process-pool executors
   that replay pre-resolved injection shards and stream aggregates back;
 * :mod:`repro.engine.engine` -- :class:`InjectionEngine`, the campaign front
-  door, and the engine-backed suite runner.
+  door, and the engine-backed suite runner;
+* :mod:`repro.engine.batch` -- batched lockstep replay: numpy-vectorised
+  injection wavefronts behind the :attr:`EngineConfig.batch_width` knob.
+  It is imported lazily (only when a campaign enables batching) so that the
+  rest of the engine works on numpy-free installs.
 
 The legacy :class:`repro.faultinjection.campaign.InjectionCampaign` API is a
 thin shim over this package.

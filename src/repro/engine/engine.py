@@ -81,6 +81,13 @@ class EngineConfig:
             under a bounded budget; ``0`` disables the grid (same baseline
             as ``convergence=False``).
         max_fingerprints: fingerprint budget for the adaptive grid spacing.
+        batch_width: lockstep wavefront width for batched replay
+            (:mod:`repro.engine.batch`).  ``0`` (default) keeps every replay
+            scalar; ``>= 2`` advances up to that many injected runs of one
+            golden run together as vectorised wavefronts on supported cores
+            (currently the in-order core; others fall back to scalar),
+            composing with checkpoints and convergence gating.  Outcomes are
+            bit-identical to scalar replay at any width.
     """
 
     checkpoint_interval: int | None = None
@@ -91,6 +98,7 @@ class EngineConfig:
     convergence: bool = True
     convergence_interval: int | None = None
     max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS
+    batch_width: int = 0
 
     @property
     def convergence_enabled(self) -> bool:
@@ -178,17 +186,22 @@ class InjectionEngine:
         chunks = shard_plan(planned, self.seed, self._chunk_size(len(planned)))
         spec = CampaignSpec(core=self.core, program=self.program,
                             checkpointed=checkpointed,
-                            convergence=self.config.convergence_enabled)
+                            convergence=self.config.convergence_enabled,
+                            batch_width=self.config.batch_width)
         outcomes = OutcomeCounts()
         per_site: dict[int, OutcomeCounts] = {}
         replayed_cycles = 0
         converged_count = 0
         saved_cycles = 0
+        evicted_count = 0
+        lockstep_cycles = 0
         for chunk_result in self._executor.run_chunks(spec, chunks):
             outcomes = outcomes.merged_with(chunk_result.outcomes)
             replayed_cycles += chunk_result.replayed_cycles
             converged_count += chunk_result.converged_count
             saved_cycles += chunk_result.saved_cycles
+            evicted_count += chunk_result.evicted_count
+            lockstep_cycles += chunk_result.lockstep_cycles
             for flat_index, counts in chunk_result.per_site.items():
                 merged = per_site.get(flat_index)
                 per_site[flat_index] = (counts if merged is None
@@ -199,7 +212,9 @@ class InjectionEngine:
                               per_site=per_site,
                               replayed_cycles=replayed_cycles,
                               converged_count=converged_count,
-                              saved_cycles=saved_cycles)
+                              saved_cycles=saved_cycles,
+                              evicted_count=evicted_count,
+                              lockstep_cycles=lockstep_cycles)
 
 
 def run_suite_campaign(core: BaseCore, workloads,

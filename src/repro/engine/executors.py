@@ -68,12 +68,18 @@ class CampaignSpec:
     ``convergence`` gates early termination of injected runs whose state
     fingerprint re-converges with the golden run's grid; set it to False to
     force full replay to termination (the pre-convergence baseline).
+
+    ``batch_width`` >= 2 enables batched lockstep replay
+    (:mod:`repro.engine.batch`): up to that many injections advance together
+    as one vectorised wavefront on supported cores, with divergent runs
+    evicted to the scalar path.  0 (the default) keeps every replay scalar.
     """
 
     core: BaseCore
     program: Program
     checkpointed: CheckpointedGoldenRun
     convergence: bool = True
+    batch_width: int = 0
 
 
 @dataclass
@@ -107,6 +113,10 @@ class ChunkResult:
             fingerprint re-converged with the golden grid.
         saved_cycles: cycles those early-outs skipped (golden termination
             cycle minus convergence cycle, summed).
+        evicted_count: runs that diverged out of a lockstep wavefront and
+            were finished on the scalar path (0 for scalar chunks).
+        lockstep_cycles: per-run cycles advanced inside batched wavefronts
+            (a subset of ``replayed_cycles``; 0 for scalar chunks).
     """
 
     index: int
@@ -115,6 +125,8 @@ class ChunkResult:
     replayed_cycles: int = 0
     converged_count: int = 0
     saved_cycles: int = 0
+    evicted_count: int = 0
+    lockstep_cycles: int = 0
 
     def record(self, flat_index: int, outcome: OutcomeCategory) -> None:
         self.outcomes.record(outcome)
@@ -243,7 +255,25 @@ def replay_planned_injection(core: BaseCore, program: Program,
 
 
 def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
-    """Replay every injection of one chunk and aggregate the outcomes."""
+    """Replay every injection of one chunk and aggregate the outcomes.
+
+    With ``spec.batch_width`` >= 2 the chunk is handed to the batched
+    lockstep replay engine, which produces bit-identical outcomes (divergent
+    and unbatchable runs are replayed by this scalar path internally).  The
+    batched engine needs numpy; when it is unavailable the chunk falls back
+    to scalar replay with a warning rather than failing the campaign.
+    """
+    if spec.batch_width >= 2:
+        try:
+            from repro.engine.batch import execute_chunk_batched
+        except ImportError as error:
+            import warnings
+
+            warnings.warn(
+                f"batched lockstep replay unavailable ({error}); replaying "
+                f"serially", RuntimeWarning, stacklevel=2)
+        else:
+            return execute_chunk_batched(spec, chunk)
     result = ChunkResult(index=chunk.index)
     for planned in chunk.planned:
         replay = replay_planned_injection(spec.core, spec.program, planned,

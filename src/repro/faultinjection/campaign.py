@@ -50,6 +50,11 @@ class CampaignResult:
         converged_count: injected runs terminated early because their state
             fingerprint re-converged with the golden run's grid.
         saved_cycles: simulated cycles those early-outs skipped.
+        evicted_count: runs that diverged out of a batched lockstep
+            wavefront and finished on the scalar path (0 when batching is
+            off).
+        lockstep_cycles: per-run cycles advanced inside batched wavefronts
+            (a subset of ``replayed_cycles``; 0 when batching is off).
     """
 
     core_name: str
@@ -60,6 +65,8 @@ class CampaignResult:
     replayed_cycles: int = 0
     converged_count: int = 0
     saved_cycles: int = 0
+    evicted_count: int = 0
+    lockstep_cycles: int = 0
 
     @property
     def injections(self) -> int:
@@ -80,6 +87,17 @@ class CampaignResult:
         """
         would_be = self.replayed_cycles + self.saved_cycles
         return self.saved_cycles / would_be if would_be else 0.0
+
+    @property
+    def evicted_fraction(self) -> float:
+        """Fraction of injected runs evicted from a wavefront to scalar replay."""
+        return self.evicted_count / self.injections if self.injections else 0.0
+
+    @property
+    def lockstep_cycle_fraction(self) -> float:
+        """Fraction of simulated replay cycles spent inside lockstep wavefronts."""
+        return (self.lockstep_cycles / self.replayed_cycles
+                if self.replayed_cycles else 0.0)
 
     @property
     def sdc_count(self) -> int:

@@ -16,9 +16,14 @@ from repro.microarch.events import (
 )
 from repro.microarch.flipflop import FaultSite, FlipFlopRegistry, FlipFlopStructure
 from repro.microarch.inorder import InOrderCore, INO_CLOCK_MHZ
-from repro.microarch.memory import MemoryFault, MemoryRegion, MemorySystem
+from repro.microarch.memory import (
+    BatchedWordStore,
+    MemoryFault,
+    MemoryRegion,
+    MemorySystem,
+)
 from repro.microarch.ooo import OutOfOrderCore, OOO_CLOCK_MHZ
-from repro.microarch.state import LatchState
+from repro.microarch.state import BatchedLatchState, LatchState
 
 __all__ = [
     "BaseCore",
@@ -34,10 +39,12 @@ __all__ = [
     "FlipFlopStructure",
     "InOrderCore",
     "INO_CLOCK_MHZ",
+    "BatchedWordStore",
     "MemoryFault",
     "MemoryRegion",
     "MemorySystem",
     "OutOfOrderCore",
     "OOO_CLOCK_MHZ",
+    "BatchedLatchState",
     "LatchState",
 ]

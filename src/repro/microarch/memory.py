@@ -23,6 +23,11 @@ from repro.isa.program import (
     WORD_BYTES,
 )
 
+try:  # numpy backs only the batched store; the scalar path never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 class MemoryFault(Exception):
     """Raised for accesses outside the legal memory map or misaligned words."""
@@ -142,3 +147,155 @@ class MemorySystem:
     def words_written(self) -> int:
         """Number of distinct words currently holding data."""
         return len(self._words)
+
+
+class BatchedWordStore:
+    """Word store for ``lanes`` lockstep replays of the same golden run.
+
+    All lanes share one address space layout; per-address values are a
+    ``(lanes,)`` vector.  Because lanes start bit-identical and the batched
+    stepper keeps addresses uniform across the wavefront (divergent lanes are
+    evicted), storage is a shared base image plus a copy-on-write overlay of
+    per-lane vectors -- only addresses actually written during the wavefront
+    cost ``lanes`` words.
+
+    The store tracks, incrementally, how many overlay words differ from a
+    reference lane (lane 0), so "is this lane's memory bit-identical to the
+    golden run's" is an O(1) counter read at convergence-check time.  The
+    comparison matches :meth:`MemorySystem.fingerprint_key` semantics: lanes
+    share the written-address set (uniform addresses), so per-address value
+    equality is exactly zero-normalised image equality.
+    """
+
+    _WORD_MASK = 0xFFFFFFFF
+
+    def __init__(self, base_words: dict[int, int], lanes: int,
+                 regions: tuple[MemoryRegion, ...] = DEFAULT_REGIONS,
+                 reference_lane: int = 0):
+        if _np is None:  # pragma: no cover - exercised on numpy-free installs
+            raise RuntimeError("BatchedWordStore requires numpy")
+        self._regions = regions
+        self.lanes = lanes
+        self._reference = reference_lane
+        self._base = dict(base_words)
+        self._overlay: dict[int, "_np.ndarray"] = {}
+        self._diverged = _np.zeros(lanes, dtype=_np.int64)
+
+    # ------------------------------------------------------------------ checks
+    def _check(self, address: int, *, aligned_to: int) -> None:
+        if address % aligned_to != 0:
+            raise MemoryFault(address, f"misaligned access (alignment {aligned_to})")
+        if not any(region.contains(address) for region in self._regions):
+            raise MemoryFault(address, "address outside mapped regions")
+
+    def is_mapped(self, address: int) -> bool:
+        return any(region.contains(address) for region in self._regions)
+
+    # ------------------------------------------------------------------ access
+    def load_word(self, address: int):
+        """Load one address on every lane; returns a ``(lanes,)`` uint64 array."""
+        self._check(address, aligned_to=WORD_BYTES)
+        values = self._overlay.get(address)
+        if values is not None:
+            return values
+        return _np.full(self.lanes, self._base.get(address, 0), dtype=_np.uint64)
+
+    def store_word(self, address: int, values) -> None:
+        """Store per-lane ``values`` (masked to 32 bits) at one address."""
+        self._check(address, aligned_to=WORD_BYTES)
+        self._store(address, values)
+
+    def _store(self, address: int, values) -> None:
+        new = _np.asarray(values).astype(_np.uint64, copy=False) \
+            & _np.uint64(self._WORD_MASK)
+        previous = self._overlay.get(address)
+        if previous is None:
+            previous_diff = 0
+        else:
+            previous_diff = (previous != previous[self._reference]).astype(_np.int64)
+        self._diverged += (new != new[self._reference]).astype(_np.int64)
+        self._diverged -= previous_diff
+        self._overlay[address] = new
+
+    def load_byte(self, address: int):
+        self._check(address, aligned_to=1)
+        word_address = address - (address % WORD_BYTES)
+        if not self.is_mapped(word_address):
+            raise MemoryFault(address, "address outside mapped regions")
+        shift = 8 * (address % WORD_BYTES)
+        word = self._overlay.get(word_address)
+        if word is None:
+            word = _np.full(self.lanes, self._base.get(word_address, 0),
+                            dtype=_np.uint64)
+        return (word >> _np.uint64(shift)) & _np.uint64(0xFF)
+
+    def store_byte(self, address: int, values) -> None:
+        self._check(address, aligned_to=1)
+        word_address = address - (address % WORD_BYTES)
+        if not self.is_mapped(word_address):
+            raise MemoryFault(address, "address outside mapped regions")
+        shift = 8 * (address % WORD_BYTES)
+        word = self._overlay.get(word_address)
+        if word is None:
+            word = _np.full(self.lanes, self._base.get(word_address, 0),
+                            dtype=_np.uint64)
+        masked = word & _np.uint64(self._WORD_MASK ^ (0xFF << shift))
+        merged = masked | ((_np.asarray(values).astype(_np.uint64, copy=False)
+                            & _np.uint64(0xFF)) << _np.uint64(shift))
+        self._store(word_address, merged)
+
+    # ------------------------------------------------------------------ lane lifecycle
+    def reset_lane(self, lane: int) -> None:
+        """Make ``lane``'s memory bit-identical to the reference lane.
+
+        Used when a streaming wavefront recycles a freed lane slot for a new
+        injection joining at the current cycle: the joining replay's memory
+        is, by construction, the reference (golden) image.
+        """
+        reference = self._reference
+        for values in self._overlay.values():
+            values[lane] = values[reference]
+        self._diverged[lane] = 0
+
+    def set_lane_words(self, lane: int, words: dict[int, int]) -> None:
+        """Adopt a full scalar memory image for one lane (a wavefront rejoin).
+
+        ``words`` is a :meth:`MemorySystem.snapshot_words` image.  Addresses
+        it diverges on that the wavefront never wrote get overlay rows on
+        demand (all other lanes keep the base value); overlay addresses the
+        image never stored are architecturally zero on this lane (word
+        stores never delete, so an address missing from a scalar image was
+        never written there).
+        """
+        reference = self._reference
+        overlay = self._overlay
+        base = self._base
+        for address, value in words.items():
+            value &= self._WORD_MASK
+            values = overlay.get(address)
+            if values is None:
+                base_value = base.get(address, 0)
+                if value == base_value:
+                    continue
+                values = _np.full(self.lanes, base_value, dtype=_np.uint64)
+                overlay[address] = values
+            values[lane] = value
+        diverged = 0
+        for address, values in overlay.items():
+            if address not in words:
+                values[lane] = 0
+            if values[lane] != values[reference]:
+                diverged += 1
+        self._diverged[lane] = diverged
+
+    # ------------------------------------------------------------------ equality / export
+    def lanes_match_reference(self):
+        """Per-lane boolean: memory bit-identical to the reference lane."""
+        return self._diverged == 0
+
+    def lane_words(self, lane: int) -> dict[int, int]:
+        """One lane's full memory image (``MemorySystem.snapshot_words`` form)."""
+        words = dict(self._base)
+        for address, values in self._overlay.items():
+            words[address] = int(values[lane])
+        return words

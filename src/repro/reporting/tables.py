@@ -80,6 +80,35 @@ def format_frontier_comparison(title: str, named_frontiers,
     return format_table(title, headers, rows)
 
 
+def format_replay_telemetry(named_results,
+                            title: str = "Replay telemetry") -> str:
+    """Render per-campaign replay cost telemetry as a table.
+
+    ``named_results`` is an iterable of ``(name, CampaignResult)`` pairs.
+    Per campaign the table reports the simulated replay cycles, how much of
+    that work ran inside batched lockstep wavefronts, how many runs the
+    wavefronts evicted to the scalar path, and what convergence gating
+    saved.  All-zero lockstep/evicted columns simply mean the campaign ran
+    with ``batch_width`` off.
+    """
+    rows = []
+    for name, result in named_results:
+        rows.append([
+            name,
+            result.injections,
+            result.replayed_cycles,
+            f"{100 * result.lockstep_cycle_fraction:.0f}%",
+            f"{100 * result.evicted_fraction:.0f}%",
+            f"{100 * result.converged_fraction:.0f}%",
+            f"{100 * result.saved_cycle_fraction:.0f}%",
+        ])
+    return format_table(
+        title,
+        ["campaign", "injections", "replayed cycles", "lockstep",
+         "evicted", "converged", "cycles saved"],
+        rows)
+
+
 def format_golden_cache_stats(cache, title: str = "Golden-run cache") -> str:
     """Render a :class:`repro.engine.GoldenRunCache` health readout.
 

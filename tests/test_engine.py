@@ -528,3 +528,98 @@ class TestGoldenRunCache:
             InOrderCore(), workloads, injections_per_workload=2,
             max_cache_entries=2)
         assert len(results) == 2
+
+
+class TestBatchedReplay:
+    """Batched lockstep replay is a pure performance knob: with a fixed seed
+    and any ``batch_width``, campaigns report outcome counts and per-site
+    tallies bit-identical to scalar replay -- on both cores (unsupported
+    cores transparently fall back to scalar), both executors, with the
+    convergence gate on and off, and with protections exercising the
+    suppressed and detecting paths."""
+
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES, ids=lambda c: c.__name__)
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_batched_campaigns_bit_exact_vs_scalar(self, core_cls, program,
+                                                   data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16),
+                         label="seed")
+        width = data.draw(st.sampled_from([2, 5, 16]), label="batch_width")
+        convergence = data.draw(st.booleans(), label="convergence")
+        protected = data.draw(st.booleans(), label="protected")
+        protection = MixedProtection() if protected else None
+        results = []
+        for batch_width in (0, width):
+            config = EngineConfig(convergence=convergence,
+                                  batch_width=batch_width)
+            engine = InjectionEngine(core_cls(), program,
+                                     protection=protection, seed=seed,
+                                     config=config,
+                                     golden_cache=GoldenRunCache())
+            results.append(engine.run(injections=12))
+        scalar, batched = results
+        assert batched.outcomes == scalar.outcomes
+        assert batched.per_site == scalar.per_site
+        assert scalar.evicted_count == 0 and scalar.lockstep_cycles == 0
+
+    def test_batched_parallel_executor_matches_scalar_serial(self, program):
+        seed, count = 17, 24
+        scalar = InjectionEngine(
+            InOrderCore(), program, protection=MixedProtection(), seed=seed,
+            executor=SerialExecutor(),
+            golden_cache=GoldenRunCache()).run(injections=count)
+        batched = InjectionEngine(
+            InOrderCore(), program, protection=MixedProtection(), seed=seed,
+            config=EngineConfig(batch_width=8, chunk_size=8),
+            executor=ParallelExecutor(workers=2),
+            golden_cache=GoldenRunCache()).run(injections=count)
+        assert batched.outcomes == scalar.outcomes
+        assert batched.per_site == scalar.per_site
+
+    def test_supported_core_seam(self):
+        from repro.engine.batch import batched_replay_supported
+
+        assert batched_replay_supported(InOrderCore())
+        assert not batched_replay_supported(OutOfOrderCore())
+
+        class TweakedInOrder(InOrderCore):
+            """Subclasses may override stage behaviour the lockstep stepper
+            does not mirror, so they must fall back to scalar."""
+
+        assert not batched_replay_supported(TweakedInOrder())
+
+    def test_batched_telemetry_fractions(self, program):
+        result = InjectionEngine(
+            InOrderCore(), program, seed=5,
+            config=EngineConfig(batch_width=8),
+            golden_cache=GoldenRunCache()).run(injections=20)
+        assert 0.0 <= result.evicted_fraction <= 1.0
+        assert 0.0 <= result.lockstep_cycle_fraction <= 1.0
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            assert result.lockstep_cycles == 0  # graceful scalar fallback
+        else:
+            assert result.lockstep_cycles > 0
+            assert result.lockstep_cycles <= result.replayed_cycles
+
+    def test_replay_telemetry_report(self, program):
+        from repro.reporting import format_replay_telemetry
+
+        result = InjectionEngine(
+            InOrderCore(), program, seed=5,
+            config=EngineConfig(batch_width=8),
+            golden_cache=GoldenRunCache()).run(injections=20)
+        rendered = format_replay_telemetry([("vpr/batched x8", result)])
+        assert "vpr/batched x8" in rendered
+        assert "lockstep" in rendered and "evicted" in rendered
+        assert str(result.replayed_cycles) in rendered
+        assert f"{100 * result.converged_fraction:.0f}%" in rendered
+
+    def test_width_below_two_stays_scalar(self, program):
+        result = InjectionEngine(
+            InOrderCore(), program, seed=5,
+            config=EngineConfig(batch_width=1),
+            golden_cache=GoldenRunCache()).run(injections=6)
+        assert result.evicted_count == 0 and result.lockstep_cycles == 0

@@ -86,6 +86,19 @@ class TestLatchState:
         latches.restore(snapshot)
         assert latches.get("field") == 55
 
+    def test_restore_rejects_unknown_structure(self):
+        """A snapshot naming a structure this registry lacks must raise, not
+        half-restore: silently skipping it would leave the core in a state
+        neither run ever held (regression test for the array-backed store)."""
+        registry = FlipFlopRegistry("test")
+        registry.register("field", 8, "u")
+        registry.freeze()
+        latches = LatchState(registry)
+        latches.set("field", 7)
+        with pytest.raises(ValueError, match="unknown flip-flop structure"):
+            latches.restore({"field": 3, "ghost.latch": 1})
+        assert latches.get("field") == 7, "failed restore must not mutate"
+
 
 class TestMemorySystem:
     def test_word_and_byte_access(self):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.faultinjection import OutcomeCategory, OutcomeCounts, margin_of_error
@@ -133,3 +134,129 @@ class TestCostReportProperties:
     def test_energy_at_least_power_when_time_grows(self, power, time):
         report = CostReport.from_power_and_time(0.0, power, time)
         assert report.energy_pct >= report.power_pct - 1e-9
+
+
+@st.composite
+def _registries(draw):
+    """Small frozen registries with mixed widths and architectural flags."""
+    widths = draw(st.lists(st.integers(min_value=1, max_value=64),
+                           min_size=1, max_size=6))
+    registry = FlipFlopRegistry("prop")
+    for position, width in enumerate(widths):
+        registry.register(f"s{position}", width, f"u{position % 2}",
+                          architectural=draw(st.booleans()))
+    registry.freeze()
+    return registry
+
+
+class TestArrayLatchStateEquivalence:
+    """The array-backed LatchState must be observationally identical to the
+    obvious dict-of-values model under any operation sequence: same reads,
+    same serialize/fingerprint keys, same snapshot/restore round-trips."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(registry=_registries(), data=st.data())
+    def test_operation_sequence_matches_dict_model(self, registry, data):
+        latches = LatchState(registry)
+        model: dict[str, int] = {s.name: 0 for s in registry.structures}
+        masks = {s.name: (1 << s.width) - 1 for s in registry.structures}
+        names = sorted(model)
+        operations = data.draw(st.lists(st.tuples(
+            st.sampled_from(["set", "flip", "flip_flat"]),
+            st.sampled_from(names),
+            st.integers(min_value=0, max_value=2**64 - 1)), max_size=12))
+        for kind, name, value in operations:
+            if kind == "set":
+                latches.set(name, value)
+                model[name] = value & masks[name]
+            elif kind == "flip":
+                bit = value % registry.structure(name).width
+                latches.flip_bit(name, bit)
+                model[name] ^= 1 << bit
+            else:
+                flat = value % registry.total_flip_flops
+                site = registry.site(flat)
+                latches.flip_flat(flat)
+                model[site.structure.name] ^= 1 << site.bit
+        for name in names:
+            assert latches.get(name) == model[name]
+        assert latches.snapshot() == model
+        assert latches.serialize() == tuple(
+            model[s.name] for s in registry.structures)
+        assert latches.fingerprint_key() == latches.serialize()
+        # serialize -> deserialize and snapshot -> restore both round-trip
+        # onto a fresh instance bit-identically.
+        via_serialize = LatchState(registry)
+        via_serialize.deserialize(latches.serialize())
+        assert via_serialize.serialize() == latches.serialize()
+        via_snapshot = LatchState(registry)
+        via_snapshot.restore(latches.snapshot())
+        assert via_snapshot.fingerprint_key() == latches.fingerprint_key()
+
+    @settings(max_examples=40, deadline=None)
+    @given(registry=_registries(), data=st.data())
+    def test_batched_lanes_match_scalar_serialization(self, registry, data):
+        """Per-lane flips on a BatchedLatchState reproduce, lane for lane,
+        what the same flips produce on independent scalar LatchStates."""
+        pytest.importorskip("numpy")
+        from repro.microarch.state import BatchedLatchState
+
+        base = LatchState(registry)
+        for structure in registry.structures:
+            base.set(structure.name,
+                     data.draw(st.integers(min_value=0,
+                                           max_value=(1 << structure.width) - 1),
+                               label=f"base:{structure.name}"))
+        lanes = data.draw(st.integers(min_value=1, max_value=5), label="lanes")
+        batched = BatchedLatchState.from_serialized(registry, base.serialize(),
+                                                    lanes)
+        scalars = []
+        for lane in range(lanes):
+            scalar = LatchState(registry)
+            scalar.deserialize(base.serialize())
+            flips = data.draw(st.lists(
+                st.integers(min_value=0,
+                            max_value=registry.total_flip_flops - 1),
+                max_size=4), label=f"flips:{lane}")
+            for flat in flips:
+                scalar.flip_flat(flat)
+                batched.flip_flat(lane, flat)
+            scalars.append(scalar)
+        for lane, scalar in enumerate(scalars):
+            assert batched.lane_serialized(lane) == scalar.serialize()
+        equal = batched.rows_equal()
+        for lane, scalar in enumerate(scalars):
+            assert bool(equal[lane]) == (scalar.serialize()
+                                         == scalars[0].serialize())
+
+
+class TestBatchedReplayProperties:
+    """Whole-campaign property: any seed, width and convergence setting must
+    leave outcome counts and per-site tallies bit-identical to scalar replay
+    (the wavefront is a pure performance transform)."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(data=st.data())
+    def test_batched_campaign_equals_scalar_campaign(self, data):
+        from repro.engine import EngineConfig, GoldenRunCache, InjectionEngine
+        from repro.microarch import InOrderCore, OutOfOrderCore
+        from repro.workloads import workload_by_name
+
+        core_cls = data.draw(st.sampled_from([InOrderCore, OutOfOrderCore]),
+                             label="core")
+        seed = data.draw(st.integers(min_value=0, max_value=2**16),
+                         label="seed")
+        width = data.draw(st.sampled_from([3, 8]), label="batch_width")
+        convergence = data.draw(st.booleans(), label="convergence")
+        program = workload_by_name("vpr").program()
+        runs = []
+        for batch_width in (0, width):
+            engine = InjectionEngine(
+                core_cls(), program, seed=seed,
+                config=EngineConfig(batch_width=batch_width,
+                                    convergence=convergence),
+                golden_cache=GoldenRunCache())
+            runs.append(engine.run(injections=8))
+        scalar, batched = runs
+        assert batched.outcomes == scalar.outcomes
+        assert batched.per_site == scalar.per_site
