@@ -7,6 +7,14 @@ import os
 import platform
 from pathlib import Path
 
+from repro.obs import git_revision, manifest_dict
+
+BENCH_SCHEMA = 2
+"""Layout version of persisted ``BENCH_*.json`` documents.
+
+Version history: 1 = headers/rows/context (implicit, unversioned);
+2 = adds ``schema``, git revision in ``context``, and a ``manifest``."""
+
 
 def run_once(benchmark, func):
     """Run a benchmark payload exactly once and return its result.
@@ -33,11 +41,14 @@ def persist_bench(name: str, headers: list[str], rows: list[list],
     """Write one benchmark's result table to ``BENCH_<name>.json``.
 
     The payload is machine-readable (headers + rows + host context) so later
-    PRs can diff throughput numbers without re-parsing printed tables.
-    Returns the written path.
+    PRs can diff throughput numbers without re-parsing printed tables.  The
+    document carries ``schema`` (see :data:`BENCH_SCHEMA`), the git revision
+    of the working tree in ``context``, and a full provenance manifest
+    (:func:`repro.obs.manifest_dict`).  Returns the written path.
     """
     path = bench_output_dir() / f"BENCH_{name}.json"
     payload = {
+        "schema": BENCH_SCHEMA,
         "benchmark": name,
         "headers": headers,
         "rows": rows,
@@ -45,8 +56,10 @@ def persist_bench(name: str, headers: list[str], rows: list[list],
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            "git": git_revision(),
             **(context or {}),
         },
+        "manifest": manifest_dict(benchmark=name),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -27,20 +27,27 @@ from repro.engine import GOLDEN_RUN_CACHE, EngineConfig, InjectionEngine
 from repro.faultinjection import CalibratedVulnerabilityModel
 from repro.microarch import InOrderCore
 from repro.physical import RecoveryKind, TimingModel
+from repro.reporting import format_phase_breakdown
 from repro.resilience import ProtectedDesign, harden_top_flip_flops
 from repro.workloads import workload_by_name
 
 
-def main(injections: int = 150, workers: int = 2, seed: int = 1) -> None:
+def main(injections: int = 150, workers: int = 2, seed: int = 1,
+         trace: str | None = None) -> None:
     core = InOrderCore()
     workload = workload_by_name("histogram")
     program = workload.program()
-    config = EngineConfig(workers=workers)
+    config = EngineConfig(workers=workers, metrics=True)
+    # Only the baseline campaign is traced: the three campaigns share one
+    # config otherwise, and each traced run would overwrite the file.
+    baseline_config = EngineConfig(workers=workers, metrics=True,
+                                   trace=trace if trace else False)
     print(f"Workload: {workload.name} ({workload.description})")
     print(f"Engine: {workers} worker(s), adaptive checkpointing, seed {seed}")
 
     started = time.perf_counter()
-    baseline = InjectionEngine(core, program, seed=seed, config=config).run(
+    baseline = InjectionEngine(core, program, seed=seed,
+                               config=baseline_config).run(
         injections=injections)
     checkpointed = GOLDEN_RUN_CACHE.get(core, program)
     print(f"\nGolden run: {checkpointed.golden.cycles} cycles, "
@@ -55,6 +62,11 @@ def main(injections: int = 150, workers: int = 2, seed: int = 1) -> None:
           f"{100 * baseline.saved_cycle_fraction:.0f}% of replay cycles skipped")
     for outcome, count in baseline.outcomes.as_dict().items():
         print(f"  {outcome:22s} {count}")
+    print("\n" + format_phase_breakdown(baseline,
+                                        title="Baseline phase breakdown"))
+    if trace:
+        print(f"Trace written to {trace} (open in chrome://tracing "
+              f"or ui.perfetto.dev)")
 
     # Configuration 1: every flip-flop hardened with LEAP-DICE.  The golden
     # run (and its checkpoints) are reused from the cache: protection only
@@ -104,5 +116,9 @@ if __name__ == "__main__":
                              "(1 = serial)")
     parser.add_argument("--seed", type=int, default=1,
                         help="campaign seed (same seed => identical statistics)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the "
+                             "baseline campaign to PATH")
     args = parser.parse_args()
-    main(args.injections, workers=args.workers, seed=args.seed)
+    main(args.injections, workers=args.workers, seed=args.seed,
+         trace=args.trace)

@@ -26,12 +26,17 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.analysis.pareto import ParetoFrontier, ParetoPoint
+from repro.obs import manifest_dict
 
 STORE_FORMAT = "repro.pareto-frontier"
 """Document discriminator, so stray JSON files fail fast with a clear error."""
 
-STORE_VERSION = 1
-"""Schema version; bump on incompatible layout changes."""
+STORE_VERSION = 2
+"""Schema version; bump on incompatible layout changes.
+
+Version history: 1 = format/metadata/seen/points; 2 = adds ``manifest``
+(:func:`repro.obs.manifest_dict` provenance).  Version-1 documents still
+load -- their manifest is simply empty."""
 
 
 @dataclass
@@ -40,6 +45,7 @@ class StoredFrontier:
 
     frontier: ParetoFrontier
     metadata: dict = field(default_factory=dict)
+    manifest: dict = field(default_factory=dict)
     version: int = STORE_VERSION
 
     @property
@@ -62,12 +68,19 @@ def _payload_to_json(payload: object) -> object:
 
 
 def frontier_to_dict(frontier: ParetoFrontier,
-                     metadata: dict | None = None) -> dict:
-    """The versioned JSON-ready document of one frontier."""
+                     metadata: dict | None = None,
+                     manifest: dict | None = None) -> dict:
+    """The versioned JSON-ready document of one frontier.
+
+    ``manifest`` defaults to a freshly built provenance record for the
+    current process (:func:`repro.obs.manifest_dict`); pass the campaign's
+    own manifest to record its seed/core/config instead.
+    """
     return {
         "format": STORE_FORMAT,
         "version": STORE_VERSION,
         "metadata": dict(metadata or {}),
+        "manifest": dict(manifest) if manifest is not None else manifest_dict(),
         "seen": frontier.seen,
         "points": [
             {
@@ -115,20 +128,24 @@ def frontier_from_dict(document: dict) -> StoredFrontier:
     frontier = ParetoFrontier.from_points(points, seen=document.get("seen"))
     return StoredFrontier(frontier=frontier,
                           metadata=dict(document.get("metadata", {})),
+                          manifest=dict(document.get("manifest") or {}),
                           version=version)
 
 
 def save_frontier(path: str | Path, frontier: ParetoFrontier,
-                  metadata: dict | None = None) -> Path:
-    """Persist one frontier (plus metadata) to ``path``; returns the path.
+                  metadata: dict | None = None,
+                  manifest: dict | None = None) -> Path:
+    """Persist one frontier (plus metadata and manifest) to ``path``.
 
-    The write is atomic (temp file + rename in the target directory): a
-    frontier condenses a sweep that may have taken hours, so an interrupted
-    save must never destroy the previous store.
+    ``manifest`` defaults to a provenance record of the current process; see
+    :func:`frontier_to_dict`.  The write is atomic (temp file + rename in
+    the target directory): a frontier condenses a sweep that may have taken
+    hours, so an interrupted save must never destroy the previous store.
+    Returns the path.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    document = frontier_to_dict(frontier, metadata=metadata)
+    document = frontier_to_dict(frontier, metadata=metadata, manifest=manifest)
     scratch = path.with_name(path.name + ".tmp")
     scratch.write_text(json.dumps(document, indent=2) + "\n")
     os.replace(scratch, path)

@@ -84,6 +84,7 @@ from repro.engine.executors import (
     Replay,
     _ConvergedEarly,
     _convergence_hook,
+    fold_scalar_replay,
     replay_planned_injection,
 )
 from repro.faultinjection.injector import injection_watchdog
@@ -96,6 +97,26 @@ from repro.microarch.events import RunResult, TerminationReason, TrapKind
 from repro.microarch.inorder import _TRAP_CODES, _TRAP_FROM_CODE, InOrderCore
 from repro.microarch.memory import BatchedWordStore, MemoryFault
 from repro.microarch.state import BatchedLatchState
+from repro.obs import Instrumentation
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.phases import (
+    COUNT_CONVERGED,
+    COUNT_EVICTED,
+    COUNT_REPLAYS,
+    CYCLES_FALLBACK,
+    CYCLES_FASTFORWARD,
+    CYCLES_LOCKSTEP,
+    CYCLES_SAVED,
+    CYCLES_TANDEM,
+    CYCLES_WAVEFRONT_SHARED,
+    HISTOGRAM_REPLAY_CYCLES,
+    PHASE_FALLBACK,
+    PHASE_LOCKSTEP,
+    PHASE_SCALAR_REPLAY,
+    PHASE_TANDEM,
+    SPAN_CHUNK,
+)
+from repro.obs.trace import now_us
 
 _WORD = 0xFFFFFFFF
 
@@ -164,27 +185,40 @@ def _golden_batchable(golden: RunResult) -> bool:
 
 @dataclass
 class _LaneRecord:
-    """Lifecycle bookkeeping for one planned injection in the wavefront."""
+    """Lifecycle bookkeeping for one planned injection in the wavefront.
+
+    The three cycle tallies partition a finished record's simulated cycles
+    by phase -- lockstep lanes, tandem co-stepping, scalar fallback -- so
+    the chunk's phase counters reconcile exactly with ``simulated_cycles``
+    (their sum).
+    """
 
     planned: PlannedInjection
     slot: int = -1
     resumed_from: int = 0
     segment_start: int = 0
     lockstep_cycles: int = 0
+    tandem_cycles: int = 0
     scalar_cycles: int = 0
     evicted: bool = False
     replay: Replay | None = None
+
+    @property
+    def simulated_cycles(self) -> int:
+        return self.lockstep_cycles + self.tandem_cycles + self.scalar_cycles
 
 
 class _Tandem:
     """A control-diverged replay co-stepping on a pooled scalar core."""
 
-    __slots__ = ("core", "record", "deadline")
+    __slots__ = ("core", "record", "deadline", "started")
 
-    def __init__(self, core: BaseCore, record: _LaneRecord, deadline: int):
+    def __init__(self, core: BaseCore, record: _LaneRecord, deadline: int,
+                 started: float = 0.0):
         self.core = core
         self.record = record
         self.deadline = deadline
+        self.started = started
 
 
 class _CorePool:
@@ -238,7 +272,10 @@ class _StreamingWavefront:
 
     def __init__(self, core: BaseCore, program: Program,
                  checkpointed: CheckpointedGoldenRun, convergence: bool,
-                 width: int, pool: _CorePool):
+                 width: int, pool: _CorePool,
+                 obs: Instrumentation | None = None):
+        self._obs = Instrumentation.off() if obs is None else obs
+        self._tracing = self._obs.tracer.enabled
         self._program = program
         self._checkpointed = checkpointed
         self._golden = checkpointed.golden
@@ -463,7 +500,18 @@ class _StreamingWavefront:
         core = self._pool.acquire()
         core.restore(self._program, snapshot)
         self._tandems.append(
-            _Tandem(core, record, deadline=self.cycle + _TANDEM_WINDOW))
+            _Tandem(core, record, deadline=self.cycle + _TANDEM_WINDOW,
+                    started=now_us() if self._tracing else 0.0))
+
+    def _finish_tandem_span(self, tandem: _Tandem, disposition: str) -> None:
+        """Emit the ``tandem.window`` span (spawn -> rejoin/finish/evict)."""
+        if not self._tracing:
+            return
+        self._obs.tracer.complete(
+            PHASE_TANDEM, start_us=tandem.started,
+            dur_us=now_us() - tandem.started,
+            args={"site": tandem.record.planned.injection.flat_index,
+                  "disposition": disposition})
 
     def _demote_divergent(self, values: np.ndarray) -> None:
         """Demote occupied lanes whose ``values`` entry differs from lane 0's.
@@ -528,7 +576,7 @@ class _StreamingWavefront:
         record.replay = Replay(
             result=result, outcome=classify_outcome(self._golden, result),
             resumed_from=record.resumed_from,
-            simulated_cycles=record.lockstep_cycles + record.scalar_cycles)
+            simulated_cycles=record.simulated_cycles)
         finished.append(record)
 
     def _retire_converged(self, cycle: int,
@@ -560,8 +608,7 @@ class _StreamingWavefront:
                 result=synthesized,
                 outcome=classify_outcome(golden, synthesized),
                 resumed_from=record.resumed_from,
-                simulated_cycles=(record.lockstep_cycles
-                                  + record.scalar_cycles),
+                simulated_cycles=record.simulated_cycles,
                 converged_at=cycle)
             finished.append(record)
 
@@ -601,6 +648,7 @@ class _StreamingWavefront:
         is re-checked by the pre-pass every cycle like any other lane's.
         """
         self._tandems.remove(tandem)
+        self._finish_tandem_span(tandem, disposition="rejoined")
         record = tandem.record
         core = tandem.core
         slot = self._free_slots.pop()
@@ -631,7 +679,7 @@ class _StreamingWavefront:
 
     def _step_tandems(self, finished: list[_LaneRecord]) -> None:
         for tandem in list(self._tandems):
-            tandem.record.scalar_cycles += 1
+            tandem.record.tandem_cycles += 1
             if not tandem.core.step():
                 self._tandems.remove(tandem)
                 self._finish_tandem_terminated(tandem, finished)
@@ -654,8 +702,9 @@ class _StreamingWavefront:
         record.replay = Replay(
             result=result, outcome=classify_outcome(self._golden, result),
             resumed_from=record.resumed_from,
-            simulated_cycles=record.lockstep_cycles + record.scalar_cycles)
+            simulated_cycles=record.simulated_cycles)
         finished.append(record)
+        self._finish_tandem_span(tandem, disposition="terminated")
         self._pool.release(core)
 
     def _hard_evict(self, tandem: _Tandem,
@@ -671,15 +720,24 @@ class _StreamingWavefront:
         core = tandem.core
         record = tandem.record
         record.evicted = True
+        self._finish_tandem_span(tandem, disposition="evicted")
         golden = self._golden
         start_cycle = core.cycle
+        obs = self._obs
         hook = None
         if self._gate:
+            probe_metrics = obs.metrics if obs.detailed else NULL_METRICS
             hook = _convergence_hook(_noop_hook,
                                      record.planned.injection.cycle,
-                                     self._checkpointed)
+                                     self._checkpointed,
+                                     metrics=probe_metrics)
         try:
-            injected = core._run_loop(self._watchdog, hook)
+            with obs.tracer.span(
+                    PHASE_FALLBACK,
+                    args={"site": record.planned.injection.flat_index,
+                          "from_cycle": start_cycle}):
+                with obs.metrics.timer(PHASE_FALLBACK):
+                    injected = core._run_loop(self._watchdog, hook)
         except _ConvergedEarly as converged:
             synthesized = replace(golden, output=list(golden.output),
                                   detections=list(golden.detections))
@@ -688,8 +746,7 @@ class _StreamingWavefront:
                 result=synthesized,
                 outcome=classify_outcome(golden, synthesized),
                 resumed_from=record.resumed_from,
-                simulated_cycles=(record.lockstep_cycles
-                                  + record.scalar_cycles),
+                simulated_cycles=record.simulated_cycles,
                 converged_at=converged.cycle)
         else:
             record.scalar_cycles += injected.cycles - start_cycle
@@ -697,8 +754,7 @@ class _StreamingWavefront:
                 result=injected,
                 outcome=classify_outcome(golden, injected),
                 resumed_from=record.resumed_from,
-                simulated_cycles=(record.lockstep_cycles
-                                  + record.scalar_cycles))
+                simulated_cycles=record.simulated_cycles)
         finished.append(record)
         self._pool.release(core)
 
@@ -1150,7 +1206,8 @@ def _noop_hook(core: BaseCore, cycle: int) -> None:
     return None
 
 
-def execute_chunk_batched(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
+def execute_chunk_batched(spec: CampaignSpec, chunk: ChunkSpec,
+                          obs: Instrumentation | None = None) -> ChunkResult:
     """Replay one chunk with streaming lockstep wavefronts where possible.
 
     Injections the wavefront cannot carry -- unsuppressed detecting
@@ -1162,8 +1219,18 @@ def execute_chunk_batched(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     Slot starvation (more simultaneous riders than ``batch_width``) defers
     injections to another sweep; a pass that finishes nothing sends the
     leftovers to the scalar path, so progress is guaranteed.
+
+    ``obs`` is the chunk's instrumentation bundle (built by
+    :func:`~repro.engine.executors.execute_chunk` from the spec's flags;
+    ``None`` builds one here for direct callers).  Wavefront cycles land in
+    phase counters -- lockstep lanes, shared reference, tandem windows,
+    scalar fallback -- that partition ``replayed_cycles`` exactly.
     """
-    result = ChunkResult(index=chunk.index)
+    if obs is None:
+        obs = Instrumentation.configure(metrics=spec.metrics,
+                                        trace=spec.trace)
+    result = ChunkResult(index=chunk.index, metrics=obs.metrics)
+    metrics = obs.metrics
     width = spec.batch_width
     batchable: list[PlannedInjection] = []
     scalar: list[PlannedInjection] = []
@@ -1179,38 +1246,64 @@ def execute_chunk_batched(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     if len(batchable) < _MIN_WAVEFRONT_LANES:
         scalar.extend(batchable)
         batchable = []
-    if batchable:
-        pool = _CorePool(spec.core)
-        pending = [_LaneRecord(planned=planned) for planned in batchable]
-        pending.sort(key=lambda record: record.planned.injection.cycle)
-        while pending:
-            wavefront = _StreamingWavefront(spec.core, spec.program,
-                                            spec.checkpointed,
-                                            spec.convergence, width, pool)
-            finished, deferred = wavefront.sweep(pending)
-            result.replayed_cycles += wavefront.shared_cycles
-            for record in finished:
-                result.lockstep_cycles += record.lockstep_cycles
-                result.evicted_count += record.evicted
-                _fold_replay(result, record.planned, record.replay)
-            if not finished:
-                # No lane made progress (degenerate plan, e.g. every
-                # injection beyond golden termination): fall back to scalar.
-                scalar.extend(record.planned for record in deferred)
-                break
-            pending = deferred
-    for planned in scalar:
-        replay = replay_planned_injection(spec.core, spec.program, planned,
-                                          spec.checkpointed,
-                                          convergence=spec.convergence)
-        _fold_replay(result, planned, replay)
+    with obs.tracer.span(SPAN_CHUNK, args={"index": chunk.index,
+                                           "injections": len(chunk.planned),
+                                           "batchable": len(batchable)}):
+        if batchable:
+            pool = _CorePool(spec.core)
+            pending = [_LaneRecord(planned=planned) for planned in batchable]
+            pending.sort(key=lambda record: record.planned.injection.cycle)
+            while pending:
+                wavefront = _StreamingWavefront(spec.core, spec.program,
+                                                spec.checkpointed,
+                                                spec.convergence, width, pool,
+                                                obs=obs)
+                with obs.tracer.span(PHASE_LOCKSTEP,
+                                     args={"riders": len(pending)}) as span:
+                    with metrics.timer(PHASE_LOCKSTEP):
+                        finished, deferred = wavefront.sweep(pending)
+                    span.note(finished=len(finished),
+                              shared_cycles=wavefront.shared_cycles)
+                metrics.inc(CYCLES_WAVEFRONT_SHARED, wavefront.shared_cycles)
+                for record in finished:
+                    metrics.inc(CYCLES_LOCKSTEP, record.lockstep_cycles)
+                    metrics.inc(CYCLES_TANDEM, record.tandem_cycles)
+                    metrics.inc(CYCLES_FALLBACK, record.scalar_cycles)
+                    if record.evicted:
+                        metrics.inc(COUNT_EVICTED)
+                    _fold_replay(result, record.planned, record.replay, obs)
+                if not finished:
+                    # No lane made progress (degenerate plan, e.g. every
+                    # injection beyond golden termination): fall back to
+                    # scalar.
+                    scalar.extend(record.planned for record in deferred)
+                    break
+                pending = deferred
+        for planned in scalar:
+            with obs.metrics.timer(PHASE_SCALAR_REPLAY):
+                replay = replay_planned_injection(
+                    spec.core, spec.program, planned, spec.checkpointed,
+                    convergence=spec.convergence,
+                    obs=obs if obs.tracer.enabled or obs.detailed else None)
+            fold_scalar_replay(result, planned, replay, obs)
+    if obs.tracer.enabled:
+        result.trace_events = obs.tracer.events
     return result
 
 
 def _fold_replay(result: ChunkResult, planned: PlannedInjection,
-                 replay: Replay) -> None:
-    result.replayed_cycles += replay.simulated_cycles
+                 replay: Replay, obs: Instrumentation) -> None:
+    """Fold one wavefront-finished replay into the chunk result.
+
+    Phase *cycle* counters are the caller's job (the lane record partitions
+    them); this folds the outcome plus the per-replay bookkeeping counters.
+    """
+    metrics = result.metrics
+    metrics.inc(COUNT_REPLAYS)
+    metrics.inc(CYCLES_FASTFORWARD, replay.resumed_from)
     if replay.converged_at is not None:
-        result.converged_count += 1
-        result.saved_cycles += replay.saved_cycles
+        metrics.inc(COUNT_CONVERGED)
+        metrics.inc(CYCLES_SAVED, replay.saved_cycles)
+    if obs.detailed:
+        metrics.observe(HISTOGRAM_REPLAY_CYCLES, replay.simulated_cycles)
     result.record(planned.injection.flat_index, replay.outcome)

@@ -24,6 +24,15 @@ from repro.isa.encoding import encode_instruction
 from repro.isa.program import Program
 from repro.microarch.core import BaseCore, CoreSnapshot, DEFAULT_MAX_CYCLES
 from repro.microarch.events import RunResult
+from repro.obs import Instrumentation
+from repro.obs.phases import (
+    COUNT_FINGERPRINTS,
+    COUNT_GOLDEN_CACHE_HITS,
+    COUNT_GOLDEN_RECORDS,
+    COUNT_SNAPSHOTS,
+    CYCLES_GOLDEN,
+    PHASE_GOLDEN_RECORD,
+)
 
 INITIAL_CHECKPOINT_INTERVAL = 64
 """Starting snapshot spacing for the adaptive recorder."""
@@ -141,6 +150,7 @@ def record_checkpointed_golden(core: BaseCore, program: Program,
                                max_cycles: int = DEFAULT_MAX_CYCLES,
                                fingerprint_interval: int | None = None,
                                max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+                               obs: Instrumentation | None = None,
                                ) -> CheckpointedGoldenRun:
     """Run ``program`` on ``core`` once, recording snapshots + fingerprints.
 
@@ -152,6 +162,10 @@ def record_checkpointed_golden(core: BaseCore, program: Program,
     :data:`FINGERPRINT_DENSITY` times finer than the snapshot grid, ``0``
     records no fingerprints (injected runs always simulate to termination --
     the pre-convergence baseline).
+
+    ``obs`` (see :mod:`repro.obs`) wraps the recording in a
+    ``golden.record`` span/timer and counts recorded cycles, snapshots and
+    fingerprints; ``None`` records nothing.
     """
     if interval is not None and interval < 0:
         raise ValueError(f"checkpoint interval must be >= 0, got {interval}")
@@ -177,7 +191,22 @@ def record_checkpointed_golden(core: BaseCore, program: Program,
                  _hooks: tuple = tuple(hooks)) -> None:
             for recorder in _hooks:
                 recorder(core, cycle)
-    golden = core.run(program, max_cycles=max_cycles, cycle_hook=hook)
+    if obs is None:
+        obs = Instrumentation.off()
+    with obs.tracer.span(PHASE_GOLDEN_RECORD,
+                         args={"core": core.name,
+                               "program": program.name}) as span:
+        with obs.metrics.timer(PHASE_GOLDEN_RECORD):
+            golden = core.run(program, max_cycles=max_cycles, cycle_hook=hook)
+        span.note(cycles=golden.cycles,
+                  snapshots=len(checkpointer.snapshots) if checkpointer else 0)
+    metrics = obs.metrics
+    metrics.inc(COUNT_GOLDEN_RECORDS)
+    metrics.inc(CYCLES_GOLDEN, golden.cycles)
+    if checkpointer:
+        metrics.inc(COUNT_SNAPSHOTS, len(checkpointer.snapshots))
+    if fingerprinter:
+        metrics.inc(COUNT_FINGERPRINTS, len(fingerprinter.fingerprints))
     return CheckpointedGoldenRun(
         golden=golden,
         snapshots=checkpointer.snapshots if checkpointer else [],
@@ -236,6 +265,7 @@ class GoldenRunCache:
             max_cycles: int = DEFAULT_MAX_CYCLES,
             fingerprint_interval: int | None = None,
             max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+            obs: Instrumentation | None = None,
             ) -> CheckpointedGoldenRun:
         """Return the checkpointed golden run, recording it on first use."""
         # Core class and flip-flop count guard against two differently-built
@@ -248,13 +278,15 @@ class GoldenRunCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            if obs is not None:
+                obs.metrics.inc(COUNT_GOLDEN_CACHE_HITS)
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
         recorded = record_checkpointed_golden(
             core, program, interval=interval, max_checkpoints=max_checkpoints,
             max_cycles=max_cycles, fingerprint_interval=fingerprint_interval,
-            max_fingerprints=max_fingerprints)
+            max_fingerprints=max_fingerprints, obs=obs)
         self._entries[key] = recorded
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

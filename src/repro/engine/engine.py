@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.engine.checkpoint import (
@@ -49,6 +50,16 @@ from repro.faultinjection.injector import (
 from repro.faultinjection.outcomes import OutcomeCounts
 from repro.isa.program import Program
 from repro.microarch.core import BaseCore, DEFAULT_MAX_CYCLES
+from repro.obs import Instrumentation
+from repro.obs.phases import (
+    COUNT_CONVERGED,
+    COUNT_EVICTED,
+    CYCLES_LOCKSTEP,
+    CYCLES_SAVED,
+    SPAN_CAMPAIGN,
+    SPAN_PLAN,
+    replayed_cycle_total,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (campaign imports us lazily)
     from repro.faultinjection.campaign import CampaignResult
@@ -88,6 +99,15 @@ class EngineConfig:
             (currently the in-order core; others fall back to scalar),
             composing with checkpoints and convergence gating.  Outcomes are
             bit-identical to scalar replay at any width.
+        metrics: enable wall-clock phase timers and per-replay histograms
+            (:mod:`repro.obs`).  Phase *cycle counters* are always collected
+            -- they back the campaign telemetry -- so this flag only adds
+            clock reads; outcomes are bit-identical either way.
+        trace: span-based tracing of the campaign -> chunk -> replay
+            lifecycle in Chrome trace-event format.  ``True`` collects the
+            events on ``CampaignResult.trace_events``; a path additionally
+            writes the JSON there (loadable in ``chrome://tracing`` /
+            Perfetto).  ``False`` (default) skips span bookkeeping entirely.
     """
 
     checkpoint_interval: int | None = None
@@ -99,10 +119,23 @@ class EngineConfig:
     convergence_interval: int | None = None
     max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS
     batch_width: int = 0
+    metrics: bool = False
+    trace: bool | str | Path = False
 
     @property
     def convergence_enabled(self) -> bool:
         return self.convergence and self.convergence_interval != 0
+
+    @property
+    def trace_enabled(self) -> bool:
+        return bool(self.trace)
+
+    @property
+    def trace_path(self) -> Path | None:
+        """Where to write the trace JSON (None: collect in memory only)."""
+        if isinstance(self.trace, (str, Path)):
+            return Path(self.trace)
+        return None
 
 
 class InjectionEngine:
@@ -128,7 +161,8 @@ class InjectionEngine:
             self._executor = SerialExecutor()
 
     # ------------------------------------------------------------------ golden
-    def golden(self) -> CheckpointedGoldenRun:
+    def golden(self, obs: Instrumentation | None = None
+               ) -> CheckpointedGoldenRun:
         """The (cached) checkpointed golden run for this core and program."""
         return self._cache.get(
             self.core, self.program,
@@ -137,7 +171,7 @@ class InjectionEngine:
             max_cycles=self.config.max_cycles,
             fingerprint_interval=(self.config.convergence_interval
                                   if self.config.convergence_enabled else 0),
-            max_fingerprints=self.config.max_fingerprints)
+            max_fingerprints=self.config.max_fingerprints, obs=obs)
 
     # ------------------------------------------------------------------ planning
     def resolve_plan(self, plan: list[Injection]) -> list[PlannedInjection]:
@@ -173,48 +207,72 @@ class InjectionEngine:
     def run(self, injections: int = 200,
             plan: list[Injection] | None = None) -> CampaignResult:
         """Run a campaign of ``injections`` uniform samples (or an explicit
-        ``plan``) and aggregate the streamed chunk results."""
+        ``plan``) and aggregate the streamed chunk results.
+
+        Chunk results stream back in completion order but are buffered and
+        *merged in chunk-index order*, so the aggregated metrics (float
+        timers included) are deterministic for any executor or scheduling.
+        Outcome counts and cycle counters are integer sums -- bit-identical
+        in any order -- which is what keeps the campaign's exactness
+        contract independent of the instrumentation flags.
+        """
         from repro.faultinjection.campaign import CampaignResult
 
-        checkpointed = self.golden()
-        golden = checkpointed.golden
-        if plan is None:
-            plan = uniform_injection_plan(self.core.flip_flop_count,
-                                          golden.cycles, injections,
-                                          seed=self.seed)
-        planned = self.resolve_plan(plan)
-        chunks = shard_plan(planned, self.seed, self._chunk_size(len(planned)))
-        spec = CampaignSpec(core=self.core, program=self.program,
-                            checkpointed=checkpointed,
-                            convergence=self.config.convergence_enabled,
-                            batch_width=self.config.batch_width)
-        outcomes = OutcomeCounts()
-        per_site: dict[int, OutcomeCounts] = {}
-        replayed_cycles = 0
-        converged_count = 0
-        saved_cycles = 0
-        evicted_count = 0
-        lockstep_cycles = 0
-        for chunk_result in self._executor.run_chunks(spec, chunks):
-            outcomes = outcomes.merged_with(chunk_result.outcomes)
-            replayed_cycles += chunk_result.replayed_cycles
-            converged_count += chunk_result.converged_count
-            saved_cycles += chunk_result.saved_cycles
-            evicted_count += chunk_result.evicted_count
-            lockstep_cycles += chunk_result.lockstep_cycles
-            for flat_index, counts in chunk_result.per_site.items():
-                merged = per_site.get(flat_index)
-                per_site[flat_index] = (counts if merged is None
-                                        else merged.merged_with(counts))
+        config = self.config
+        obs = Instrumentation.configure(metrics=config.metrics,
+                                        trace=config.trace_enabled)
+        tracer = obs.tracer
+        with tracer.span(SPAN_CAMPAIGN,
+                         args={"core": self.core.name,
+                               "program": self.program.name,
+                               "seed": self.seed,
+                               "workers": config.workers,
+                               "batch_width": config.batch_width}) as span:
+            checkpointed = self.golden(obs=obs)
+            golden = checkpointed.golden
+            if plan is None:
+                plan = uniform_injection_plan(self.core.flip_flop_count,
+                                              golden.cycles, injections,
+                                              seed=self.seed)
+            with tracer.span(SPAN_PLAN, args={"injections": len(plan)}):
+                planned = self.resolve_plan(plan)
+                chunks = shard_plan(planned, self.seed,
+                                    self._chunk_size(len(planned)))
+            spec = CampaignSpec(core=self.core, program=self.program,
+                                checkpointed=checkpointed,
+                                convergence=config.convergence_enabled,
+                                batch_width=config.batch_width,
+                                metrics=config.metrics,
+                                trace=config.trace_enabled)
+            outcomes = OutcomeCounts()
+            per_site: dict[int, OutcomeCounts] = {}
+            chunk_results = sorted(self._executor.run_chunks(spec, chunks),
+                                   key=lambda result: result.index)
+            for chunk_result in chunk_results:
+                outcomes = outcomes.merged_with(chunk_result.outcomes)
+                for flat_index, counts in chunk_result.per_site.items():
+                    merged = per_site.get(flat_index)
+                    per_site[flat_index] = (counts if merged is None
+                                            else merged.merged_with(counts))
+                obs.metrics.merge(chunk_result.metrics)
+                tracer.absorb(chunk_result.trace_events)
+            span.note(injections=len(planned), chunks=len(chunks))
+        merged = obs.metrics
+        trace_path = config.trace_path
+        if trace_path is not None:
+            tracer.save(trace_path)
         return CampaignResult(core_name=self.core.name,
                               program_name=self.program.name,
                               golden=golden, outcomes=outcomes,
                               per_site=per_site,
-                              replayed_cycles=replayed_cycles,
-                              converged_count=converged_count,
-                              saved_cycles=saved_cycles,
-                              evicted_count=evicted_count,
-                              lockstep_cycles=lockstep_cycles)
+                              replayed_cycles=replayed_cycle_total(merged),
+                              converged_count=merged.value(COUNT_CONVERGED),
+                              saved_cycles=merged.value(CYCLES_SAVED),
+                              evicted_count=merged.value(COUNT_EVICTED),
+                              lockstep_cycles=merged.value(CYCLES_LOCKSTEP),
+                              metrics=merged.to_dict(),
+                              trace_events=(tracer.events
+                                            if tracer.enabled else None))
 
 
 def run_suite_campaign(core: BaseCore, workloads,

@@ -42,6 +42,24 @@ from repro.isa.program import Program
 from repro.microarch.core import BaseCore, CycleHook
 from repro.microarch.events import RunResult, TerminationReason
 from repro.engine.checkpoint import CheckpointedGoldenRun
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.phases import (
+    COUNT_CONVERGED,
+    COUNT_FINGERPRINT_CHECKS,
+    COUNT_REPLAYS,
+    CYCLES_FASTFORWARD,
+    CYCLES_LOCKSTEP,
+    CYCLES_SAVED,
+    CYCLES_SCALAR,
+    HISTOGRAM_REPLAY_CYCLES,
+    PHASE_CONVERGENCE,
+    PHASE_FASTFORWARD,
+    PHASE_SCALAR_REPLAY,
+    REPLAY_CYCLE_COUNTERS,
+    SPAN_CHUNK,
+)
+from repro.obs.phases import COUNT_EVICTED as _COUNT_EVICTED
 
 _SEED_STRIDE = 1_000_003
 """Multiplier for deriving per-chunk seeds from the campaign seed."""
@@ -73,6 +91,13 @@ class CampaignSpec:
     (:mod:`repro.engine.batch`): up to that many injections advance together
     as one vectorised wavefront on supported cores, with divergent runs
     evicted to the scalar path.  0 (the default) keeps every replay scalar.
+
+    ``metrics`` / ``trace`` switch on the worker-side instrumentation
+    (:mod:`repro.obs`): wall-clock phase timers + replay histograms, and
+    Chrome-trace spans of the chunk -> replay lifecycle.  Phase *cycle
+    counters* are always collected -- they back the campaign telemetry --
+    and both flags off is the pre-observability fast path (no clock reads,
+    no span objects).
     """
 
     core: BaseCore
@@ -80,6 +105,8 @@ class CampaignSpec:
     checkpointed: CheckpointedGoldenRun
     convergence: bool = True
     batch_width: int = 0
+    metrics: bool = False
+    trace: bool = False
 
 
 @dataclass
@@ -104,29 +131,54 @@ class ChunkSpec:
 class ChunkResult:
     """Streamed aggregate for one executed chunk.
 
+    The chunk's replay telemetry lives in one
+    :class:`~repro.obs.MetricsRegistry` (``metrics``) keyed by the shared
+    phase vocabulary of :mod:`repro.obs.phases` -- per-phase cycle counters
+    always, wall-clock timers and histograms when the spec enabled them.
+    The registry (and, when tracing, the chunk's span events) serializes
+    through the normal pickle path back to the campaign process, where
+    registries merge deterministically in chunk-index order.  The
+    historical telemetry attributes (``replayed_cycles`` & co.) remain as
+    read-only views over the counters.
+
     Attributes:
         outcomes / per_site: classification tallies.
-        replayed_cycles: cycles actually simulated across the chunk's
-            injected runs (after checkpoint fast-forward and convergence
-            early-out).
-        converged_count: injected runs terminated early because their state
-            fingerprint re-converged with the golden grid.
-        saved_cycles: cycles those early-outs skipped (golden termination
-            cycle minus convergence cycle, summed).
-        evicted_count: runs that diverged out of a lockstep wavefront and
-            were finished on the scalar path (0 for scalar chunks).
-        lockstep_cycles: per-run cycles advanced inside batched wavefronts
-            (a subset of ``replayed_cycles``; 0 for scalar chunks).
+        metrics: the chunk's metric registry (phase cycle counters et al.).
+        trace_events: Chrome-trace events recorded during the chunk
+            (empty unless the spec enabled tracing).
     """
 
     index: int
     outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
     per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
-    replayed_cycles: int = 0
-    converged_count: int = 0
-    saved_cycles: int = 0
-    evicted_count: int = 0
-    lockstep_cycles: int = 0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    trace_events: list[dict] = field(default_factory=list)
+
+    @property
+    def replayed_cycles(self) -> int:
+        """Cycles actually simulated across the chunk's injected runs."""
+        value = self.metrics.value
+        return sum(value(name) for name in REPLAY_CYCLE_COUNTERS)
+
+    @property
+    def converged_count(self) -> int:
+        """Runs terminated early on golden-fingerprint convergence."""
+        return self.metrics.value(COUNT_CONVERGED)
+
+    @property
+    def saved_cycles(self) -> int:
+        """Cycles the convergence early-outs skipped."""
+        return self.metrics.value(CYCLES_SAVED)
+
+    @property
+    def evicted_count(self) -> int:
+        """Runs evicted from a lockstep wavefront to the scalar path."""
+        return self.metrics.value(_COUNT_EVICTED)
+
+    @property
+    def lockstep_cycles(self) -> int:
+        """Per-lane cycles advanced inside batched wavefronts."""
+        return self.metrics.value(CYCLES_LOCKSTEP)
 
     def record(self, flat_index: int, outcome: OutcomeCategory) -> None:
         self.outcomes.record(outcome)
@@ -151,7 +203,8 @@ class _ConvergedEarly(Exception):
 
 
 def _convergence_hook(inner: CycleHook, injection_cycle: int,
-                      checkpointed: CheckpointedGoldenRun) -> CycleHook:
+                      checkpointed: CheckpointedGoldenRun,
+                      metrics: MetricsRegistry = NULL_METRICS) -> CycleHook:
     """Wrap the injection hook with the fingerprint convergence check.
 
     At every fingerprint-grid cycle strictly after the injection, the
@@ -162,6 +215,10 @@ def _convergence_hook(inner: CycleHook, injection_cycle: int,
     remainder of the run is bit-identical to the golden run by construction
     (a run that raised a detection, scheduled a recovery, or diverged in
     output can never match) and simulation can stop on the spot.
+
+    ``metrics`` counts the grid probes (detailed instrumentation only; the
+    default is the shared disabled registry, so the unmetered hook pays one
+    no-op call per probe next to a full-state digest).
     """
     fingerprints = checkpointed.fingerprints
     interval = checkpointed.fingerprint_interval
@@ -170,8 +227,10 @@ def _convergence_hook(inner: CycleHook, injection_cycle: int,
         inner(core, cycle)
         if cycle > injection_cycle and cycle % interval == 0:
             expected = fingerprints.get(cycle)
-            if expected is not None and core.state_fingerprint() == expected:
-                raise _ConvergedEarly(cycle)
+            if expected is not None:
+                metrics.inc(COUNT_FINGERPRINT_CHECKS)
+                if core.state_fingerprint() == expected:
+                    raise _ConvergedEarly(cycle)
 
     return hook
 
@@ -208,7 +267,8 @@ class Replay:
 def replay_planned_injection(core: BaseCore, program: Program,
                              planned: PlannedInjection,
                              checkpointed: CheckpointedGoldenRun,
-                             convergence: bool = True) -> Replay:
+                             convergence: bool = True,
+                             obs: Instrumentation | None = None) -> Replay:
     """Run one injection, fast-forwarding from the nearest golden snapshot
     and early-terminating once the run provably re-converges.
 
@@ -224,6 +284,11 @@ def replay_planned_injection(core: BaseCore, program: Program,
     have been (VANISHED whenever the golden run terminated normally).
     Golden runs that hit the watchdog are never gated: their injected
     watchdog differs, so the tail is not reproducible from the grid.
+
+    ``obs`` (an :class:`~repro.obs.Instrumentation`) adds a
+    ``snapshot.fastforward`` span around the restore and fingerprint-probe
+    counting; ``None`` is the uninstrumented path, byte-for-byte the
+    pre-observability behaviour.
     """
     golden = checkpointed.golden
     watchdog = injection_watchdog(golden)
@@ -232,12 +297,24 @@ def replay_planned_injection(core: BaseCore, program: Program,
     if (convergence and checkpointed.fingerprint_interval > 0
             and checkpointed.fingerprints
             and golden.reason is not TerminationReason.HANG):
-        hook = _convergence_hook(hook, planned.injection.cycle, checkpointed)
+        probe_metrics = (obs.metrics if obs is not None and obs.detailed
+                         else NULL_METRICS)
+        hook = _convergence_hook(hook, planned.injection.cycle, checkpointed,
+                                 metrics=probe_metrics)
     snapshot = checkpointed.nearest(planned.injection.cycle)
     resumed_from = 0 if snapshot is None else snapshot.cycle
+    tracing = obs is not None and obs.tracer.enabled
     try:
         if snapshot is None:
             injected = core.run(program, max_cycles=watchdog, cycle_hook=hook)
+        elif tracing:
+            # resume() is restore + _run_loop; splitting it lets the
+            # fast-forward phase carry its own span without changing what
+            # runs (property-tested equal in tests/test_engine.py).
+            with obs.tracer.span(PHASE_FASTFORWARD,
+                                 args={"to_cycle": snapshot.cycle}):
+                core.restore(program, snapshot)
+            injected = core._run_loop(watchdog, hook)
         else:
             injected = core.resume(program, snapshot, max_cycles=watchdog,
                                    cycle_hook=hook)
@@ -254,6 +331,21 @@ def replay_planned_injection(core: BaseCore, program: Program,
                   simulated_cycles=injected.cycles - resumed_from)
 
 
+def fold_scalar_replay(result: ChunkResult, planned: PlannedInjection,
+                       replay: Replay, obs: Instrumentation) -> None:
+    """Fold one scalar-path replay into a chunk result (outcome + metrics)."""
+    metrics = result.metrics
+    metrics.inc(COUNT_REPLAYS)
+    metrics.inc(CYCLES_SCALAR, replay.simulated_cycles)
+    metrics.inc(CYCLES_FASTFORWARD, replay.resumed_from)
+    if replay.converged_at is not None:
+        metrics.inc(COUNT_CONVERGED)
+        metrics.inc(CYCLES_SAVED, replay.saved_cycles)
+    if obs.detailed:
+        metrics.observe(HISTOGRAM_REPLAY_CYCLES, replay.simulated_cycles)
+    result.record(planned.injection.flat_index, replay.outcome)
+
+
 def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     """Replay every injection of one chunk and aggregate the outcomes.
 
@@ -262,7 +354,13 @@ def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
     and unbatchable runs are replayed by this scalar path internally).  The
     batched engine needs numpy; when it is unavailable the chunk falls back
     to scalar replay with a warning rather than failing the campaign.
+
+    Instrumentation is worker-local: the chunk builds one
+    :class:`~repro.obs.Instrumentation` from the spec's ``metrics`` /
+    ``trace`` flags, and everything it collects rides home inside the
+    returned :class:`ChunkResult`.
     """
+    obs = Instrumentation.configure(metrics=spec.metrics, trace=spec.trace)
     if spec.batch_width >= 2:
         try:
             from repro.engine.batch import execute_chunk_batched
@@ -273,17 +371,32 @@ def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
                 f"batched lockstep replay unavailable ({error}); replaying "
                 f"serially", RuntimeWarning, stacklevel=2)
         else:
-            return execute_chunk_batched(spec, chunk)
-    result = ChunkResult(index=chunk.index)
-    for planned in chunk.planned:
-        replay = replay_planned_injection(spec.core, spec.program, planned,
-                                          spec.checkpointed,
-                                          convergence=spec.convergence)
-        result.replayed_cycles += replay.simulated_cycles
-        if replay.converged_at is not None:
-            result.converged_count += 1
-            result.saved_cycles += replay.saved_cycles
-        result.record(planned.injection.flat_index, replay.outcome)
+            return execute_chunk_batched(spec, chunk, obs=obs)
+    result = ChunkResult(index=chunk.index, metrics=obs.metrics)
+    tracing = obs.tracer.enabled
+    with obs.tracer.span(SPAN_CHUNK, args={"index": chunk.index,
+                                           "injections": len(chunk.planned)}):
+        for planned in chunk.planned:
+            with obs.tracer.span(
+                    PHASE_SCALAR_REPLAY,
+                    args={"site": planned.injection.flat_index,
+                          "cycle": planned.injection.cycle}) as span:
+                with obs.metrics.timer(PHASE_SCALAR_REPLAY):
+                    replay = replay_planned_injection(
+                        spec.core, spec.program, planned, spec.checkpointed,
+                        convergence=spec.convergence,
+                        obs=obs if tracing or obs.detailed else None)
+                span.note(outcome=replay.outcome.name,
+                          cycles=replay.simulated_cycles,
+                          converged_at=replay.converged_at)
+            fold_scalar_replay(result, planned, replay, obs)
+    if tracing:
+        checks = obs.metrics.value(COUNT_FINGERPRINT_CHECKS)
+        if checks:
+            obs.tracer.instant(PHASE_CONVERGENCE,
+                               args={"checks": checks,
+                                     "converged": result.converged_count})
+        result.trace_events = obs.tracer.events
     return result
 
 

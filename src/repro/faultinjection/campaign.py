@@ -55,6 +55,14 @@ class CampaignResult:
             off).
         lockstep_cycles: per-run cycles advanced inside batched wavefronts
             (a subset of ``replayed_cycles``; 0 when batching is off).
+        metrics: the campaign's merged metric registry as a
+            :meth:`~repro.obs.MetricsRegistry.to_dict` document (phase cycle
+            counters always; wall-clock timers/histograms under
+            ``EngineConfig(metrics=True)``).  ``None`` for results built
+            outside the engine.  The per-phase cycle counters partition
+            ``replayed_cycles`` exactly (see :mod:`repro.obs.phases`).
+        trace_events: Chrome trace-event list recorded under
+            ``EngineConfig(trace=...)``; ``None`` when tracing was off.
     """
 
     core_name: str
@@ -67,6 +75,8 @@ class CampaignResult:
     saved_cycles: int = 0
     evicted_count: int = 0
     lockstep_cycles: int = 0
+    metrics: dict | None = None
+    trace_events: list | None = None
 
     @property
     def injections(self) -> int:

@@ -244,8 +244,17 @@ class OutOfOrderCore(BaseCore):
         reg("irq.mask", 16, "peripherals", architectural=False)
 
     # ------------------------------------------------------------------ small helpers
+    # Pointer latches are wider than their structures need (rob.head/tail are
+    # 6-bit for 40 entries, fb.head/tail 3-bit for 6), so an injected flip
+    # can leave a pointer past the last entry.  Real hardware would address
+    # whatever the extra bits select; the model wraps the index so corrupted
+    # pointers keep simulating (and get classified by outcome) instead of
+    # raising KeyError on a nonexistent latch.
     def _rob_field(self, index: int, fieldname: str) -> str:
-        return f"rob.e{index:02d}.{fieldname}"
+        return f"rob.e{index % ROB_ENTRIES:02d}.{fieldname}"
+
+    def _fb_field(self, index: int, fieldname: str) -> str:
+        return f"fb.e{index % FETCH_BUFFER_ENTRIES}.{fieldname}"
 
     def _iq_field(self, index: int, fieldname: str) -> str:
         return f"iq.e{index:02d}.{fieldname}"
@@ -683,9 +692,9 @@ class OutOfOrderCore(BaseCore):
             if free_iq is None:
                 return
             fb_head = latches.get("fb.head")
-            fault = latches.get(f"fb.e{fb_head}.fault")
-            word = latches.get(f"fb.e{fb_head}.inst")
-            pc = latches.get(f"fb.e{fb_head}.pc")
+            fault = latches.get(self._fb_field(fb_head, "fault"))
+            word = latches.get(self._fb_field(fb_head, "inst"))
+            pc = latches.get(self._fb_field(fb_head, "pc"))
             instruction = None
             trap_kind: TrapKind | None = None
             if fault:
@@ -703,7 +712,7 @@ class OutOfOrderCore(BaseCore):
                         and self._find_free_checkpoint() is None):
                     return
             # Consume the fetch-buffer entry.
-            latches.set(f"fb.e{fb_head}.valid", 0)
+            latches.set(self._fb_field(fb_head, "valid"), 0)
             latches.set("fb.head", (fb_head + 1) % FETCH_BUFFER_ENTRIES)
             latches.set("fb.count", latches.get("fb.count") - 1)
             # Allocate the ROB entry.
@@ -828,18 +837,18 @@ class OutOfOrderCore(BaseCore):
             pc = latches.get("fetch.pc")
             instruction = self._program.instruction_at(pc) if self._program else None
             tail = latches.get("fb.tail")
-            latches.set(f"fb.e{tail}.pc", pc)
-            latches.set(f"fb.e{tail}.valid", 1)
+            latches.set(self._fb_field(tail, "pc"), pc)
+            latches.set(self._fb_field(tail, "valid"), 1)
             if instruction is None:
-                latches.set(f"fb.e{tail}.inst", 0)
-                latches.set(f"fb.e{tail}.fault", 1)
+                latches.set(self._fb_field(tail, "inst"), 0)
+                latches.set(self._fb_field(tail, "fault"), 1)
                 latches.set("fb.tail", (tail + 1) % FETCH_BUFFER_ENTRIES)
                 latches.set("fb.count", latches.get("fb.count") + 1)
                 latches.set("fetch.stall", 1)
                 self._fetch_stalled = True
                 return
-            latches.set(f"fb.e{tail}.inst", encode_instruction(instruction))
-            latches.set(f"fb.e{tail}.fault", 0)
+            latches.set(self._fb_field(tail, "inst"), encode_instruction(instruction))
+            latches.set(self._fb_field(tail, "fault"), 0)
             latches.set("fb.tail", (tail + 1) % FETCH_BUFFER_ENTRIES)
             latches.set("fb.count", latches.get("fb.count") + 1)
             latches.set("fetch.pc", (pc + WORD_BYTES) & 0xFFFFFFFF)

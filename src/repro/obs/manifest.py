@@ -1,0 +1,138 @@
+"""Run manifests: the provenance record of a persisted artefact.
+
+A :class:`RunManifest` captures everything needed to interpret (and ideally
+reproduce) a persisted result months later: the seed, the engine
+configuration, the core class, package versions, the git revision of the
+working tree, and host context.  Persisted frontiers
+(:mod:`repro.analysis.store`) and every ``BENCH_*.json`` document attach
+one, so artefacts stay self-describing across PRs and hosts.
+
+Manifests are plain JSON-ready dicts by design -- they ride inside other
+documents (frontier stores, bench payloads, campaign metadata) rather than
+being a file format of their own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from functools import lru_cache
+
+MANIFEST_VERSION = 1
+"""Manifest layout version; bump on incompatible changes."""
+
+
+@lru_cache(maxsize=8)
+def git_revision(path: str | None = None) -> str | None:
+    """The git revision of ``path`` (default: this repo), or None.
+
+    Best-effort: returns None when git is unavailable, the directory is not
+    a work tree, or the lookup fails for any other reason -- a manifest must
+    never make persisting a result fail.
+    """
+    cwd = path or os.path.dirname(os.path.abspath(__file__))
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return revision or None
+
+
+def _package_versions() -> dict[str, str]:
+    """Versions of the packages that shape results (best-effort)."""
+    from importlib import metadata
+
+    versions = {"python": platform.python_version()}
+    for package in ("clear-repro", "numpy"):
+        try:
+            versions[package] = metadata.version(package)
+        except Exception:  # pragma: no cover - absent package / odd metadata
+            continue
+    return versions
+
+
+def _host_context() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The provenance of one run or persisted artefact.
+
+    Attributes:
+        created: UTC ISO-8601 creation timestamp.
+        seed: campaign/sweep seed, when the artefact came from a seeded run.
+        core: core instance name (``None`` when not core-specific).
+        core_class: core class qualname -- two differently-built cores can
+            share a user-supplied name, so the class is recorded too.
+        engine_config: the :class:`~repro.engine.EngineConfig` as a dict.
+        packages: versions of python and the packages that shape results.
+        host: platform/machine/cpu context.
+        git: git revision of the working tree (None outside a checkout).
+        extra: caller-supplied free-form context.
+    """
+
+    created: str
+    seed: int | None = None
+    core: str | None = None
+    core_class: str | None = None
+    engine_config: dict | None = None
+    packages: dict = field(default_factory=dict)
+    host: dict = field(default_factory=dict)
+    git: str | None = None
+    extra: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the form that rides inside other documents)."""
+        return dataclasses.asdict(self)
+
+
+def build_manifest(seed: int | None = None, core=None, config=None,
+                   **extra) -> RunManifest:
+    """Assemble a manifest for the current process.
+
+    ``core`` may be a core instance (name + class recorded) or a plain
+    name string; ``config`` an :class:`~repro.engine.EngineConfig` (or any
+    dataclass/dict).  Keyword arguments land in ``extra``.
+    """
+    core_name = None
+    core_class = None
+    if core is not None:
+        if isinstance(core, str):
+            core_name = core
+        else:
+            core_name = getattr(core, "name", str(core))
+            core_class = type(core).__qualname__
+    config_dict = None
+    if config is not None:
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            config_dict = {key: (str(value) if not isinstance(
+                value, (int, float, bool, str, type(None))) else value)
+                for key, value in dataclasses.asdict(config).items()}
+        elif isinstance(config, dict):
+            config_dict = dict(config)
+        else:
+            config_dict = {"repr": repr(config)}
+    return RunManifest(
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        seed=seed, core=core_name, core_class=core_class,
+        engine_config=config_dict, packages=_package_versions(),
+        host=_host_context(), git=git_revision(), extra=dict(extra))
+
+
+def manifest_dict(seed: int | None = None, core=None, config=None,
+                  **extra) -> dict:
+    """:func:`build_manifest` already serialized (the common call shape)."""
+    return build_manifest(seed=seed, core=core, config=config,
+                          **extra).to_dict()

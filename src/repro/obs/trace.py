@@ -1,0 +1,175 @@
+"""Span-based tracing in Chrome trace-event format.
+
+A :class:`TraceRecorder` collects *spans* (complete events, ``"ph": "X"``)
+and *instant* events (``"ph": "i"``) for the campaign -> chunk -> replay
+lifecycle and serializes them as a Chrome trace-event-format JSON document
+(the ``{"traceEvents": [...]}`` object form), loadable directly in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Timestamps come from ``time.perf_counter`` scaled to microseconds -- the
+format's native unit.  Perf-counter epochs are per-process, so events
+recorded in worker processes (each chunk ships its events home through its
+:class:`~repro.engine.executors.ChunkResult`) share a timeline origin only
+with events from the same pid; the viewer groups tracks by pid/tid, which is
+exactly the right rendering for a multi-process campaign.
+
+A disabled recorder (``enabled=False``) returns a shared no-op span from
+:meth:`span` and drops :meth:`instant` after one attribute check, so tracing
+can stay wired through the engine unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **args) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+"""The one no-op span instance; identity-checkable by the fast-path tests."""
+
+
+def now_us() -> float:
+    return time.perf_counter() * 1e6
+
+
+class _Span:
+    """Context manager emitting one complete (``"X"``) event on exit."""
+
+    __slots__ = ("_recorder", "_name", "_cat", "_tid", "_args", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, cat: str,
+                 tid: int, args: dict | None):
+        self._recorder = recorder
+        self._name = name
+        self._cat = cat
+        self._tid = tid
+        self._args = args
+
+    def note(self, **args) -> None:
+        """Attach (or update) event args from inside the span body."""
+        if self._args is None:
+            self._args = {}
+        self._args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._start = now_us()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder.complete(self._name, start_us=self._start,
+                                dur_us=now_us() - self._start,
+                                cat=self._cat, tid=self._tid, args=self._args)
+        return False
+
+
+class TraceRecorder:
+    """Collects trace events for one campaign (or one chunk, in a worker)."""
+
+    __slots__ = ("enabled", "events", "pid")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[dict] = []
+        self.pid = os.getpid()
+
+    # ------------------------------------------------------------------ record
+    def span(self, name: str, cat: str = "engine", tid: int = 0,
+             args: dict | None = None):
+        """Context manager recording a complete event around its body."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, cat, tid, args)
+
+    def complete(self, name: str, start_us: float, dur_us: float,
+                 cat: str = "engine", tid: int = 0,
+                 args: dict | None = None) -> None:
+        """Record a pre-measured complete event (``"ph": "X"``)."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": start_us, "dur": max(0.0, dur_us),
+                 "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "engine", tid: int = 0,
+                args: dict | None = None) -> None:
+        """Record an instant event (``"ph": "i"``, thread scope)."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                 "ts": now_us(), "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def absorb(self, events: list[dict]) -> None:
+        """Append events recorded elsewhere (a worker's chunk) verbatim.
+
+        Worker events keep their own pid and perf-counter origin -- the
+        trace viewer renders each pid as its own process track.
+        """
+        if not self.enabled or not events:
+            return
+        self.events.extend(events)
+
+    # ------------------------------------------------------------------ read
+    def span_names(self) -> set[str]:
+        """Distinct event names recorded so far."""
+        return {event["name"] for event in self.events}
+
+    # ------------------------------------------------------------------ emit
+    def to_dict(self) -> dict:
+        """The Chrome trace-event JSON object form."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace JSON to ``path`` (parents created); returns it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()) + "\n")
+        return path
+
+
+NULL_TRACER = TraceRecorder(enabled=False)
+"""Shared disabled recorder for default parameters on hot paths."""
+
+
+def validate_trace_events(document: dict) -> list[dict]:
+    """Check a loaded trace document's shape; returns its event list.
+
+    Raises:
+        ValueError: when the document is not the object form or an event is
+            missing a required Chrome trace-event field.  Used by the CI
+            smoke step to guard the emitted format.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome trace-event document: no traceEvents "
+                         "list")
+    for event in events:
+        missing = [key for key in ("name", "ph", "ts", "pid", "tid")
+                   if key not in event]
+        if missing:
+            raise ValueError(f"trace event {event!r} missing {missing}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event {event['name']!r} missing dur")
+    return events

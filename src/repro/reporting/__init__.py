@@ -4,11 +4,12 @@ from repro.reporting.tables import (
     format_frontier,
     format_frontier_comparison,
     format_golden_cache_stats,
+    format_phase_breakdown,
     format_replay_telemetry,
     format_series,
     format_table,
 )
 
 __all__ = ["format_frontier", "format_frontier_comparison",
-           "format_golden_cache_stats", "format_replay_telemetry",
-           "format_series", "format_table"]
+           "format_golden_cache_stats", "format_phase_breakdown",
+           "format_replay_telemetry", "format_series", "format_table"]

@@ -22,9 +22,13 @@ def format_table(title: str, headers: Sequence[str],
             else:
                 widths.append(len(cell))
     lines = [title, "-" * len(title)]
-    lines.append("  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
+    # rstrip: the last column's ljust padding would otherwise leave trailing
+    # whitespace on every line.
+    lines.append("  ".join(str(header).ljust(widths[i])
+                           for i, header in enumerate(headers)).rstrip())
     for row in materialised:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)).rstrip())
     return "\n".join(lines)
 
 
@@ -107,6 +111,61 @@ def format_replay_telemetry(named_results,
         ["campaign", "injections", "replayed cycles", "lockstep",
          "evicted", "converged", "cycles saved"],
         rows)
+
+
+def format_phase_breakdown(result_or_metrics,
+                           title: str = "Phase breakdown") -> str:
+    """Render the per-phase replay cost of one campaign as a table.
+
+    Accepts a :class:`~repro.faultinjection.campaign.CampaignResult` (uses
+    its ``metrics`` document), a :class:`~repro.obs.MetricsRegistry`, or a
+    ``to_dict`` metrics document.  One row per phase of
+    :data:`repro.obs.phases.PHASE_TABLE`: cycles attributed to the phase,
+    its share of the replayed-cycle total (``-`` for skipped-work rows,
+    which are not part of that total), and accumulated wall-clock seconds
+    when the campaign ran with ``EngineConfig(metrics=True)``.  The final
+    row restates the replayed-cycle total, which reconciles exactly with
+    ``CampaignResult.replayed_cycles``.
+    """
+    from repro.obs.phases import (PHASE_TABLE, REPLAY_CYCLE_COUNTERS,
+                                  counters_of, replayed_cycle_total)
+
+    metrics = getattr(result_or_metrics, "metrics", result_or_metrics)
+    if metrics is None:
+        metrics = {}
+    counters = counters_of(metrics)
+    timers = getattr(metrics, "timers", None)
+    if timers is None and isinstance(metrics, dict):
+        timers = metrics.get("timers", {})
+    timers = timers or {}
+    replayed = replayed_cycle_total(metrics)
+    timed = bool(timers)
+
+    def seconds_of(name):
+        entry = timers.get(name)
+        if entry is None:
+            return None
+        return entry[0] if isinstance(entry, list) else entry["seconds"]
+
+    rows = []
+    for label, counter, timer_name in PHASE_TABLE:
+        cycles = counters.get(counter, 0)
+        in_total = counter in REPLAY_CYCLE_COUNTERS
+        share = (f"{100 * cycles / replayed:.1f}%"
+                 if in_total and replayed else "-")
+        row = [label, cycles, share]
+        if timed:
+            seconds = seconds_of(timer_name) if timer_name else None
+            row.append("-" if seconds is None else f"{seconds:.3f}s")
+        rows.append(row)
+    total_row = ["replayed total", replayed, "100.0%" if replayed else "-"]
+    if timed:
+        total_row.append("-")
+    rows.append(total_row)
+    headers = ["phase", "cycles", "share"]
+    if timed:
+        headers.append("wall")
+    return format_table(title, headers, rows)
 
 
 def format_golden_cache_stats(cache, title: str = "Golden-run cache") -> str:

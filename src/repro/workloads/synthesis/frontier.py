@@ -28,6 +28,7 @@ from repro.core.exploration import CrossLayerExplorer
 from repro.core.improvement import ResilienceTarget, sdc_targets
 from repro.engine.engine import EngineConfig
 from repro.microarch.core import BaseCore
+from repro.obs import manifest_dict
 from repro.workloads import suite as registry
 from repro.workloads.synthesis.sweep import SyntheticSweepResult, run_synthetic_sweep
 
@@ -39,10 +40,13 @@ class SyntheticFrontierResult:
     sweep: SyntheticSweepResult
     frontier: ParetoFrontier
     metadata: dict = field(default_factory=dict)
+    manifest: dict = field(default_factory=dict)
 
     def save(self, path: str | Path) -> Path:
-        """Persist the frontier (with sweep metadata) for cross-run merges."""
-        return save_frontier(path, self.frontier, metadata=self.metadata)
+        """Persist the frontier (with sweep metadata and the run's
+        provenance manifest) for cross-run merges."""
+        return save_frontier(path, self.frontier, metadata=self.metadata,
+                             manifest=self.manifest or None)
 
 
 def explorer_for_sweep(core: BaseCore, sweep: SyntheticSweepResult,
@@ -119,8 +123,10 @@ def explore_synthetic_frontier(core: BaseCore, seed: int = 0,
         "workloads": len(sweep.workload_names),
         "swept_points": frontier.seen,
     }
+    manifest = manifest_dict(seed=seed, core=core, config=config,
+                             kind="synthetic-frontier", metric=metric)
     result = SyntheticFrontierResult(sweep=sweep, frontier=frontier,
-                                     metadata=metadata)
+                                     metadata=metadata, manifest=manifest)
     if store_path is not None:
         result.save(store_path)
     return result
