@@ -84,8 +84,11 @@ def bench_engine_scaling(benchmark):
              EngineConfig(checkpoint_interval=0, convergence=False)),
             ("serial, checkpointed", EngineConfig(convergence=False)),
             ("serial, converged", EngineConfig()),
+            # parallel_threshold=0: at N=30 the engine's small-plan fallback
+            # would silently serialize this row, hiding what it measures
+            # (pool spin-up cost on a small campaign).
             (f"parallel x{PARALLEL_WORKERS}, converged",
-             EngineConfig(workers=PARALLEL_WORKERS)),
+             EngineConfig(workers=PARALLEL_WORKERS, parallel_threshold=0)),
         ]
         reference = None
         baseline_rate = None

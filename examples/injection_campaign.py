@@ -23,7 +23,7 @@ import argparse
 import time
 
 from repro.core import ResilienceTarget, SelectionPolicy, SelectiveHardeningPlanner, sdc_improvement, due_improvement
-from repro.engine import GOLDEN_RUN_CACHE, EngineConfig, InjectionEngine
+from repro.engine import EngineConfig, InjectionEngine
 from repro.faultinjection import CalibratedVulnerabilityModel
 from repro.microarch import InOrderCore
 from repro.physical import RecoveryKind, TimingModel
@@ -33,23 +33,31 @@ from repro.workloads import workload_by_name
 
 
 def main(injections: int = 150, workers: int = 2, seed: int = 1,
-         trace: str | None = None) -> None:
+         trace: str | None = None, artifact_dir: str | None = None) -> None:
     core = InOrderCore()
     workload = workload_by_name("histogram")
     program = workload.program()
-    config = EngineConfig(workers=workers, metrics=True)
+    config = EngineConfig(workers=workers, metrics=True,
+                          artifact_dir=artifact_dir)
     # Only the baseline campaign is traced: the three campaigns share one
     # config otherwise, and each traced run would overwrite the file.
     baseline_config = EngineConfig(workers=workers, metrics=True,
+                                   artifact_dir=artifact_dir,
                                    trace=trace if trace else False)
     print(f"Workload: {workload.name} ({workload.description})")
     print(f"Engine: {workers} worker(s), adaptive checkpointing, seed {seed}")
+    if artifact_dir:
+        print(f"Golden-artifact store: {artifact_dir} (repeat runs load "
+              f"golden runs instead of re-recording them)")
 
     started = time.perf_counter()
-    baseline = InjectionEngine(core, program, seed=seed,
-                               config=baseline_config).run(
-        injections=injections)
-    checkpointed = GOLDEN_RUN_CACHE.get(core, program)
+    baseline_engine = InjectionEngine(core, program, seed=seed,
+                                      config=baseline_config)
+    baseline = baseline_engine.run(injections=injections)
+    # With --artifact-dir the engine resolves a store-backed shared cache
+    # instead of the process-wide default; read stats from the one it used.
+    cache = baseline_engine.golden_cache
+    checkpointed = cache.get(core, program)
     print(f"\nGolden run: {checkpointed.golden.cycles} cycles, "
           f"{checkpointed.checkpoint_count} checkpoints "
           f"every {checkpointed.interval} cycles, "
@@ -102,7 +110,14 @@ def main(injections: int = 150, workers: int = 2, seed: int = 1,
     total = 3 * injections
     print(f"\n{total} injections across 3 protection configs in {elapsed:.1f}s "
           f"({total / elapsed:.1f} injections/s; golden runs cached: "
-          f"{GOLDEN_RUN_CACHE.hits} hit(s), {GOLDEN_RUN_CACHE.misses} miss(es))")
+          f"{cache.hits} hit(s), {cache.misses} miss(es))")
+    if artifact_dir:
+        stats = cache.stats()
+        store_stats = cache.store.stats()
+        print(f"Artifact store: {stats.artifacts_loaded} loaded, "
+              f"{stats.recorded} recorded this run; "
+              f"{store_stats.entries} artifact(s), "
+              f"{store_stats.size_bytes / 1024:.0f} KiB on disk")
 
 
 if __name__ == "__main__":
@@ -119,6 +134,10 @@ if __name__ == "__main__":
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace-event JSON of the "
                              "baseline campaign to PATH")
+    parser.add_argument("--artifact-dir", default=None, metavar="DIR",
+                        help="persistent golden-artifact store directory: "
+                             "repeat runs load the golden run from disk "
+                             "instead of re-recording it")
     args = parser.parse_args()
     main(args.injections, workers=args.workers, seed=args.seed,
-         trace=args.trace)
+         trace=args.trace, artifact_dir=args.artifact_dir)

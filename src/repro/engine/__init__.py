@@ -6,6 +6,11 @@ snapshot/restore support:
 * :mod:`repro.engine.checkpoint` -- golden runs recorded with periodic core
   snapshots, plus the process-wide golden-run cache shared across protection
   configurations;
+* :mod:`repro.engine.artifacts` -- the content-addressed persistent
+  golden-artifact store: checkpointed golden runs serialised to versioned,
+  integrity-guarded on-disk blobs, making the golden cache two-tier
+  (``EngineConfig(artifact_dir=...)``) so repeated processes and pool
+  workers start warm;
 * :mod:`repro.engine.executors` -- pluggable serial / process-pool executors
   that replay pre-resolved injection shards and stream aggregates back;
 * :mod:`repro.engine.engine` -- :class:`InjectionEngine`, the campaign front
@@ -19,6 +24,11 @@ The legacy :class:`repro.faultinjection.campaign.InjectionCampaign` API is a
 thin shim over this package.
 """
 
+from repro.engine.artifacts import (
+    ArtifactStoreStats,
+    GoldenArtifactStore,
+    artifact_digest,
+)
 from repro.engine.checkpoint import (
     DEFAULT_MAX_CHECKPOINTS,
     DEFAULT_MAX_FINGERPRINTS,
@@ -26,6 +36,8 @@ from repro.engine.checkpoint import (
     CheckpointedGoldenRun,
     GoldenCacheStats,
     GoldenRunCache,
+    cache_for_artifact_dir,
+    golden_run_key,
     record_checkpointed_golden,
 )
 from repro.engine.engine import (
@@ -46,15 +58,21 @@ from repro.engine.executors import (
     execute_chunk,
     replay_planned_injection,
     shard_plan,
+    shard_plan_guided,
 )
 
 __all__ = [
     "DEFAULT_MAX_CHECKPOINTS",
     "DEFAULT_MAX_FINGERPRINTS",
     "GOLDEN_RUN_CACHE",
+    "ArtifactStoreStats",
+    "GoldenArtifactStore",
+    "artifact_digest",
     "CheckpointedGoldenRun",
     "GoldenCacheStats",
     "GoldenRunCache",
+    "cache_for_artifact_dir",
+    "golden_run_key",
     "record_checkpointed_golden",
     "CampaignResult",
     "EngineConfig",
@@ -71,4 +89,5 @@ __all__ = [
     "execute_chunk",
     "replay_planned_injection",
     "shard_plan",
+    "shard_plan_guided",
 ]

@@ -26,6 +26,8 @@ from repro.microarch.core import BaseCore, CoreSnapshot, DEFAULT_MAX_CYCLES
 from repro.microarch.events import RunResult
 from repro.obs import Instrumentation
 from repro.obs.phases import (
+    COUNT_ARTIFACTS_LOADED,
+    COUNT_ARTIFACTS_SAVED,
     COUNT_FINGERPRINTS,
     COUNT_GOLDEN_CACHE_HITS,
     COUNT_GOLDEN_RECORDS,
@@ -223,27 +225,89 @@ def _program_fingerprint(program: Program) -> tuple:
             tuple(encode_instruction(i) for i in program.instructions))
 
 
+def golden_run_key(core: BaseCore, program: Program, *,
+                   interval: int | None = None,
+                   max_checkpoints: int | None = None,
+                   max_cycles: int | None = None,
+                   fingerprint_interval: int | None = None,
+                   max_fingerprints: int | None = None) -> tuple:
+    """Canonical identity tuple of one checkpointed golden run.
+
+    Everything the recorded artifact is a function of: the core's class,
+    name and flip-flop count (two differently-built cores sharing a
+    user-supplied name must never exchange snapshots -- a snapshot restored
+    onto the wrong model would misclassify every outcome), the program's
+    content fingerprint, and the recording knobs.  The in-memory cache keys
+    on this tuple directly; the persistent artifact store hashes it into a
+    content address (:func:`repro.engine.artifacts.artifact_digest`), so
+    the two tiers can never disagree about what a key means.  ``None``
+    budget knobs normalise to the module defaults so explicit-default and
+    default calls address the same artifact.
+    """
+    return (type(core).__qualname__, core.name, core.flip_flop_count,
+            _program_fingerprint(program), interval,
+            DEFAULT_MAX_CHECKPOINTS if max_checkpoints is None
+            else max_checkpoints,
+            DEFAULT_MAX_CYCLES if max_cycles is None else max_cycles,
+            fingerprint_interval,
+            DEFAULT_MAX_FINGERPRINTS if max_fingerprints is None
+            else max_fingerprints)
+
+
 @dataclass(frozen=True)
 class GoldenCacheStats:
-    """Point-in-time health readout of one :class:`GoldenRunCache`."""
+    """Point-in-time health readout of one :class:`GoldenRunCache`.
+
+    ``hits``/``misses`` count the in-memory tier; ``artifacts_loaded`` /
+    ``artifacts_saved`` the disk tier (always 0 without a store).  A miss
+    satisfied by a loaded artifact is *not* a recording -- the number of
+    golden runs actually simulated is :attr:`recorded`.
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
+    artifacts_loaded: int = 0
+    artifacts_saved: int = 0
 
     @property
     def hit_rate(self) -> float:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def recorded(self) -> int:
+        """Golden runs actually simulated (misses the store could not fill)."""
+        return self.misses - self.artifacts_loaded
+
+    def merged_with(self, other: "GoldenCacheStats") -> "GoldenCacheStats":
+        """Field-wise sum, for aggregating per-worker cache stats.
+
+        ``entries``/``max_entries`` sum too: the merge describes the fleet
+        of caches (total held entries / total capacity), not any one LRU.
+        """
+        return GoldenCacheStats(
+            hits=self.hits + other.hits, misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+            max_entries=self.max_entries + other.max_entries,
+            artifacts_loaded=self.artifacts_loaded + other.artifacts_loaded,
+            artifacts_saved=self.artifacts_saved + other.artifacts_saved)
+
 
 class GoldenRunCache:
-    """LRU cache of checkpointed golden runs, keyed by (core, program).
+    """Two-tier cache of checkpointed golden runs, keyed by (core, program).
 
-    The key is the core's name plus a content fingerprint of the program, so
-    repeated campaigns on the same workload -- e.g. one per protection
-    configuration -- pay for the golden run and its snapshots exactly once.
+    The key is the core's identity plus a content fingerprint of the
+    program, so repeated campaigns on the same workload -- e.g. one per
+    protection configuration -- pay for the golden run and its snapshots
+    exactly once.  With a :class:`~repro.engine.artifacts.GoldenArtifactStore`
+    attached (``store``, or just ``EngineConfig(artifact_dir=...)``), the
+    in-memory LRU sits on top of a persistent content-addressed disk tier:
+    a memory miss first tries to *load* the artifact (integrity-guarded;
+    any defective blob degrades to re-recording), and a fresh recording is
+    persisted on the way out -- so pool workers and repeated processes join
+    warm instead of re-simulating golden runs from cycle 0.
 
     ``max_entries`` bounds memory: a multi-family synthetic sweep touches one
     distinct program per workload, so suites wider than the default of 8
@@ -251,13 +315,16 @@ class GoldenRunCache:
     ``max_cache_entries`` knob) -- :meth:`stats` makes thrash visible.
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(self, max_entries: int = 8, store=None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.store = store
         self._entries: OrderedDict[tuple, CheckpointedGoldenRun] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.artifacts_loaded = 0
+        self.artifacts_saved = 0
 
     def get(self, core: BaseCore, program: Program, *,
             interval: int | None = None,
@@ -267,14 +334,13 @@ class GoldenRunCache:
             max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
             obs: Instrumentation | None = None,
             ) -> CheckpointedGoldenRun:
-        """Return the checkpointed golden run, recording it on first use."""
-        # Core class and flip-flop count guard against two differently-built
-        # cores sharing a user-supplied name: a snapshot restored onto the
-        # wrong model would misclassify every outcome.
-        key = (type(core).__qualname__, core.name, core.flip_flop_count,
-               _program_fingerprint(program), interval,
-               max_checkpoints, max_cycles, fingerprint_interval,
-               max_fingerprints)
+        """Return the checkpointed golden run: memory, then the artifact
+        store, then recording (persisting the fresh recording)."""
+        key = golden_run_key(core, program, interval=interval,
+                             max_checkpoints=max_checkpoints,
+                             max_cycles=max_cycles,
+                             fingerprint_interval=fingerprint_interval,
+                             max_fingerprints=max_fingerprints)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
@@ -283,45 +349,112 @@ class GoldenRunCache:
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
-        recorded = record_checkpointed_golden(
-            core, program, interval=interval, max_checkpoints=max_checkpoints,
-            max_cycles=max_cycles, fingerprint_interval=fingerprint_interval,
-            max_fingerprints=max_fingerprints, obs=obs)
+        recorded = None
+        if self.store is not None:
+            recorded = self.store.load_key(key)
+            if recorded is not None:
+                self.artifacts_loaded += 1
+                if obs is not None:
+                    obs.metrics.inc(COUNT_ARTIFACTS_LOADED)
+        if recorded is None:
+            recorded = record_checkpointed_golden(
+                core, program, interval=interval,
+                max_checkpoints=max_checkpoints, max_cycles=max_cycles,
+                fingerprint_interval=fingerprint_interval,
+                max_fingerprints=max_fingerprints, obs=obs)
+            if self.store is not None and \
+                    self.store.save_key(key, recorded) is not None:
+                self.artifacts_saved += 1
+                if obs is not None:
+                    obs.metrics.inc(COUNT_ARTIFACTS_SAVED)
         self._entries[key] = recorded
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
         return recorded
 
+    def attach_store(self, store) -> None:
+        """Attach a persistent artifact store (no-op when one is attached).
+
+        Keeping the first-attached store makes repeated
+        ``EngineConfig(artifact_dir=...)`` engines sharing one cache stable:
+        the cache's disk tier never silently switches directories mid-run.
+        """
+        if self.store is None:
+            self.store = store
+
     def stats(self) -> GoldenCacheStats:
         """Hit/miss/size counters since construction (or the last clear)."""
         return GoldenCacheStats(hits=self.hits, misses=self.misses,
                                 entries=len(self._entries),
-                                max_entries=self.max_entries)
+                                max_entries=self.max_entries,
+                                artifacts_loaded=self.artifacts_loaded,
+                                artifacts_saved=self.artifacts_saved)
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.artifacts_loaded = 0
+        self.artifacts_saved = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
 
+def cache_for_artifact_dir(artifact_dir, max_entries: int | None = None,
+                           ) -> GoldenRunCache:
+    """The process-wide store-backed cache for one artifact directory.
+
+    One shared cache per resolved directory keeps the in-memory tier shared
+    across every engine pointed at the same store (the same sharing the
+    storeless :data:`GOLDEN_RUN_CACHE` provides), while different
+    directories stay fully isolated.  ``max_entries`` sizes the cache on
+    first use only (the registry never shrinks a live cache).
+    """
+    from pathlib import Path
+
+    from repro.engine.artifacts import GoldenArtifactStore
+
+    root = Path(artifact_dir).expanduser().resolve()
+    cache = _STORE_CACHES.get(root)
+    if cache is None:
+        cache = GoldenRunCache(
+            max_entries=max_entries if max_entries is not None else 8,
+            store=GoldenArtifactStore(root))
+        _STORE_CACHES[root] = cache
+    return cache
+
+
+_STORE_CACHES: dict = {}
+"""Per-artifact-directory shared caches (see :func:`cache_for_artifact_dir`)."""
+
+
 def resolve_golden_cache(golden_cache: GoldenRunCache | None,
                          max_cache_entries: int | None,
-                         ) -> GoldenRunCache | None:
+                         artifact_dir=None) -> GoldenRunCache | None:
     """Resolve the exclusive (``golden_cache``, ``max_cache_entries``) pair
-    the suite/sweep runners accept.
+    the suite/sweep runners accept, plus the optional persistent store.
 
     Returns the explicit cache, a fresh cache sized to ``max_cache_entries``,
-    or None when neither was given (the caller then applies its own default).
+    the shared store-backed cache for ``artifact_dir``, or None when nothing
+    was given (the caller then applies its own default).  An ``artifact_dir``
+    combines with either sizing option by attaching the store to the
+    resolved cache (first store wins on an explicit cache that already has
+    one).
     """
-    if max_cache_entries is None:
-        return golden_cache
-    if golden_cache is not None:
+    if golden_cache is not None and max_cache_entries is not None:
         raise ValueError("pass either golden_cache or max_cache_entries, "
                          "not both")
-    return GoldenRunCache(max_entries=max_cache_entries)
+    if max_cache_entries is not None:
+        golden_cache = GoldenRunCache(max_entries=max_cache_entries)
+    if artifact_dir is None:
+        return golden_cache
+    if golden_cache is None:
+        return cache_for_artifact_dir(artifact_dir)
+    from repro.engine.artifacts import GoldenArtifactStore
+
+    golden_cache.attach_store(GoldenArtifactStore(artifact_dir))
+    return golden_cache
 
 
 GOLDEN_RUN_CACHE = GoldenRunCache()

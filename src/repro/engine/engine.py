@@ -40,6 +40,7 @@ from repro.engine.executors import (
     PlannedInjection,
     SerialExecutor,
     shard_plan,
+    shard_plan_guided,
 )
 from repro.faultinjection.injector import (
     Injection,
@@ -108,6 +109,25 @@ class EngineConfig:
             events on ``CampaignResult.trace_events``; a path additionally
             writes the JSON there (loadable in ``chrome://tracing`` /
             Perfetto).  ``False`` (default) skips span bookkeeping entirely.
+        artifact_dir: directory of the persistent content-addressed
+            golden-artifact store (:mod:`repro.engine.artifacts`).  ``None``
+            (default) keeps golden runs in memory only; a path makes the
+            golden cache two-tier -- memory, then disk, then recording --
+            so repeated processes, pool workers and repeated campaigns load
+            golden runs instead of re-recording them.  Engines pointing at
+            the same directory share one in-memory cache per process.
+        parallel_threshold: smallest plan size worth a process pool.  Plans
+            below it run on the serial executor even when ``workers > 1``
+            (pool spin-up plus payload pickling costs more than it saves on
+            small campaigns -- a measured regression at 30 injections).
+            ``0`` disables the fallback; an explicitly passed executor is
+            always honoured as given.
+        work_stealing: dispatch parallel shards pull-style over a shared
+            queue with guided decreasing chunk sizes (each worker takes the
+            next chunk the moment it finishes one).  ``False`` restores
+            static up-front sharding, kept for benchmarking.  Either way
+            chunk results merge in chunk-index order, so outcomes are
+            bit-identical.
     """
 
     checkpoint_interval: int | None = None
@@ -121,6 +141,9 @@ class EngineConfig:
     batch_width: int = 0
     metrics: bool = False
     trace: bool | str | Path = False
+    artifact_dir: str | Path | None = None
+    parallel_threshold: int = 64
+    work_stealing: bool = True
 
     @property
     def convergence_enabled(self) -> bool:
@@ -152,13 +175,25 @@ class InjectionEngine:
         self.protection = protection
         self.seed = seed
         self.config = config or EngineConfig()
-        self._cache = golden_cache if golden_cache is not None else GOLDEN_RUN_CACHE
+        resolved = resolve_golden_cache(golden_cache, None,
+                                        artifact_dir=self.config.artifact_dir)
+        self._cache = resolved if resolved is not None else GOLDEN_RUN_CACHE
+        # Only an executor the engine built itself may be swapped for the
+        # small-plan serial fallback; an explicit one is a caller decision.
+        self._config_built_executor = executor is None
         if executor is not None:
             self._executor = executor
         elif self.config.workers > 1:
-            self._executor = ParallelExecutor(workers=self.config.workers)
+            self._executor = ParallelExecutor(
+                workers=self.config.workers,
+                work_stealing=self.config.work_stealing)
         else:
             self._executor = SerialExecutor()
+
+    @property
+    def golden_cache(self) -> GoldenRunCache:
+        """The golden-run cache this engine resolves goldens through."""
+        return self._cache
 
     # ------------------------------------------------------------------ golden
     def golden(self, obs: Instrumentation | None = None
@@ -193,10 +228,43 @@ class InjectionEngine:
                                              suppressed=suppressed))
         return resolved
 
-    def _chunk_size(self, plan_length: int) -> int:
+    def _select_executor(self, plan_length: int) -> CampaignExecutor:
+        """The executor for one plan: the configured one, downgraded to
+        serial when a config-built pool would lose to its own spin-up cost
+        (``parallel_threshold``)."""
+        if (self._config_built_executor
+                and isinstance(self._executor, ParallelExecutor)
+                and self.config.parallel_threshold > 0
+                and plan_length < self.config.parallel_threshold):
+            return SerialExecutor()
+        return self._executor
+
+    def _shard(self, planned: list[PlannedInjection],
+               executor: CampaignExecutor) -> list:
+        """Shard a resolved plan for ``executor``.
+
+        Work-stealing pools get guided decreasing-size chunks (unless an
+        explicit ``chunk_size`` pins the static schedule); everything else
+        keeps contiguous fixed-size chunks.  Both partitions preserve the
+        bit-exactness contract: results merge in chunk-index order and each
+        planned injection carries its pre-resolved lottery draw.
+        """
+        if (self.config.chunk_size is None
+                and isinstance(executor, ParallelExecutor)
+                and executor.work_stealing and executor.workers > 1):
+            # Late chunks never shrink below a lockstep wavefront's width.
+            return shard_plan_guided(planned, self.seed, executor.workers,
+                                     min_chunk=max(4, self.config.batch_width))
+        return shard_plan(planned, self.seed,
+                          self._chunk_size(len(planned), executor))
+
+    def _chunk_size(self, plan_length: int,
+                    executor: CampaignExecutor | None = None) -> int:
         if self.config.chunk_size is not None:
             return max(1, self.config.chunk_size)
-        workers = getattr(self._executor, "workers", 1)
+        if executor is None:
+            executor = self._executor
+        workers = getattr(executor, "workers", 1)
         if workers <= 1:
             return max(1, plan_length)
         # ~4 chunks per worker: enough slack to balance uneven replay costs
@@ -236,8 +304,8 @@ class InjectionEngine:
                                               seed=self.seed)
             with tracer.span(SPAN_PLAN, args={"injections": len(plan)}):
                 planned = self.resolve_plan(plan)
-                chunks = shard_plan(planned, self.seed,
-                                    self._chunk_size(len(planned)))
+                executor = self._select_executor(len(planned))
+                chunks = self._shard(planned, executor)
             spec = CampaignSpec(core=self.core, program=self.program,
                                 checkpointed=checkpointed,
                                 convergence=config.convergence_enabled,
@@ -246,7 +314,7 @@ class InjectionEngine:
                                 trace=config.trace_enabled)
             outcomes = OutcomeCounts()
             per_site: dict[int, OutcomeCounts] = {}
-            chunk_results = sorted(self._executor.run_chunks(spec, chunks),
+            chunk_results = sorted(executor.run_chunks(spec, chunks),
                                    key=lambda result: result.index)
             for chunk_result in chunk_results:
                 outcomes = outcomes.merged_with(chunk_result.outcomes)
@@ -288,11 +356,16 @@ def run_suite_campaign(core: BaseCore, workloads,
     all campaigns share one golden-run cache.  ``max_cache_entries`` sizes a
     fresh private cache to the suite (one golden run per workload; the
     default process-wide cache holds 8 entries and thrashes on wider
-    suites); it cannot be combined with an explicit ``golden_cache``.
+    suites); it cannot be combined with an explicit ``golden_cache``.  With
+    ``config.artifact_dir`` set, the suite's cache is backed by the
+    persistent golden-artifact store, so repeated suite runs load golden
+    runs instead of re-recording them.
     """
     from repro.faultinjection.vulnerability import VulnerabilityMap
 
-    golden_cache = resolve_golden_cache(golden_cache, max_cache_entries)
+    golden_cache = resolve_golden_cache(
+        golden_cache, max_cache_entries,
+        artifact_dir=config.artifact_dir if config is not None else None)
     vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
     results = []
     for offset, workload in enumerate(workloads):

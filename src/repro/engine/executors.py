@@ -194,6 +194,37 @@ def shard_plan(planned: list[PlannedInjection], seed: int,
             for index, start in enumerate(range(0, len(planned), chunk_size))]
 
 
+def shard_plan_guided(planned: list[PlannedInjection], seed: int,
+                      workers: int, min_chunk: int = 4) -> list[ChunkSpec]:
+    """Split a plan into *guided* decreasing-size chunks for work stealing.
+
+    Each chunk takes ``max(min_chunk, ceil(remaining / (workers * 2)))``
+    injections: early chunks are large (low dispatch overhead while every
+    worker is busy anyway), late chunks shrink toward ``min_chunk`` so the
+    tail stays balanced even when replay costs are skewed -- the classic
+    guided self-scheduling schedule.  Seeds follow the same
+    ``seed * stride + index`` scheme as :func:`shard_plan`, and because every
+    planned injection carries its pre-resolved lottery draw, the partition
+    never affects campaign statistics (the engine's bit-exactness contract).
+
+    ``min_chunk`` should be at least the batch width when batched lockstep
+    replay is on, so late chunks still fill a wavefront.
+    """
+    workers = max(1, workers)
+    min_chunk = max(1, min_chunk)
+    chunks: list[ChunkSpec] = []
+    start = 0
+    while start < len(planned):
+        remaining = len(planned) - start
+        size = max(min_chunk, -(-remaining // (workers * 2)))
+        index = len(chunks)
+        chunks.append(ChunkSpec(index=index,
+                                planned=planned[start:start + size],
+                                seed=seed * _SEED_STRIDE + index))
+        start += size
+    return chunks
+
+
 class _ConvergedEarly(Exception):
     """Raised from the convergence hook to abort a provably-decided replay."""
 
@@ -459,14 +490,24 @@ class ParallelExecutor:
             (shards are CPU-bound, so more processes than cores only add
             pickling overhead); an explicit count is honoured as given,
             which also lets tests exercise the pool on single-core machines.
+        work_stealing: with True (the default) shards are dispatched
+            pull-style -- the pool holds at most ``workers + 1`` in-flight
+            shards and each worker takes the next shard the moment it
+            finishes one, so a slow shard never strands pre-assigned work on
+            its worker.  False submits every shard up front (the static
+            schedule, kept for benchmarking the difference).  Either way
+            results stream back in completion order; consumers that need
+            determinism fold them by shard index.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None,
+                 work_stealing: bool = True):
         import os
 
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         self.workers = max(1, workers)
+        self.work_stealing = work_stealing
 
     def stream(self, payload: Any, shards: list, fn: ShardFunction) -> Iterator:
         if self.workers == 1 or len(shards) <= 1:
@@ -498,14 +539,39 @@ class ParallelExecutor:
 
     def _stream_pooled(self, payload: Any, shards: list, fn: ShardFunction,
                        done: set[int]) -> Iterator:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                        as_completed, wait)
 
         with ProcessPoolExecutor(max_workers=min(self.workers, len(shards)),
                                  initializer=_init_worker,
                                  initargs=(payload, fn)) as pool:
-            futures = [pool.submit(_run_shard_in_worker, shard)
-                       for shard in shards]
-            for future in as_completed(futures):
-                result = future.result()
-                done.add(result.index)
-                yield result
+            if not self.work_stealing:
+                futures = [pool.submit(_run_shard_in_worker, shard)
+                           for shard in shards]
+                for future in as_completed(futures):
+                    result = future.result()
+                    done.add(result.index)
+                    yield result
+                return
+            # Pull-based dispatch: keep just enough shards in flight that no
+            # worker idles between completions (one spare beyond the worker
+            # count), and hand out the next queued shard per completion --
+            # workers effectively steal from one shared queue.
+            queue = iter(shards)
+            pending = set()
+            for shard in queue:
+                pending.add(pool.submit(_run_shard_in_worker, shard))
+                if len(pending) > self.workers:
+                    break
+            while pending:
+                completed, pending = wait(pending,
+                                          return_when=FIRST_COMPLETED)
+                for _ in completed:
+                    shard = next(queue, None)
+                    if shard is None:
+                        break
+                    pending.add(pool.submit(_run_shard_in_worker, shard))
+                for future in completed:
+                    result = future.result()
+                    done.add(result.index)
+                    yield result

@@ -78,6 +78,8 @@ COUNT_CONVERGED = "count.converged"
 COUNT_EVICTED = "count.evicted"
 COUNT_GOLDEN_RECORDS = "count.golden.records"
 COUNT_GOLDEN_CACHE_HITS = "count.golden.cache_hits"
+COUNT_ARTIFACTS_LOADED = "count.golden.artifacts_loaded"
+COUNT_ARTIFACTS_SAVED = "count.golden.artifacts_saved"
 COUNT_FINGERPRINT_CHECKS = "count.fingerprint.checks"
 COUNT_SNAPSHOTS = "count.golden.snapshots"
 COUNT_FINGERPRINTS = "count.golden.fingerprints"

@@ -171,13 +171,40 @@ def format_phase_breakdown(result_or_metrics,
 def format_golden_cache_stats(cache, title: str = "Golden-run cache") -> str:
     """Render a :class:`repro.engine.GoldenRunCache` health readout.
 
-    A hit rate near zero on a repeated-workload run means the cache is
-    thrashing -- raise ``max_entries`` (suite and sweep runners expose it as
-    ``max_cache_entries``) so golden runs stop being re-recorded.
+    Accepts a cache or an already-captured
+    :class:`~repro.engine.GoldenCacheStats` (the sweep runners aggregate the
+    latter across workers).  A hit rate near zero on a repeated-workload run
+    means the cache is thrashing -- raise ``max_entries`` (suite and sweep
+    runners expose it as ``max_cache_entries``) so golden runs stop being
+    re-recorded.  ``loaded`` vs ``recorded`` splits the misses: loaded
+    golden runs came from the persistent artifact store
+    (``EngineConfig(artifact_dir=...)``), recorded ones were simulated from
+    cycle 0.
     """
-    stats = cache.stats()
+    stats = cache.stats() if hasattr(cache, "stats") else cache
     return format_table(title,
-                        ["hits", "misses", "hit rate", "entries", "capacity"],
+                        ["hits", "misses", "hit rate", "loaded", "recorded",
+                         "entries", "capacity"],
                         [[stats.hits, stats.misses,
                           f"{100 * stats.hit_rate:.0f}%",
+                          stats.artifacts_loaded, stats.recorded,
                           stats.entries, stats.max_entries]])
+
+
+def format_artifact_store_stats(store,
+                                title: str = "Golden-artifact store") -> str:
+    """Render a :class:`repro.engine.GoldenArtifactStore` health readout.
+
+    Accepts a store or an already-captured
+    :class:`~repro.engine.ArtifactStoreStats`.  ``loaded`` / ``saved`` /
+    ``errors`` count this process's traffic; ``entries`` / ``on disk``
+    census the directory, which other processes share.  A non-zero error
+    count means defective blobs were encountered (and transparently
+    re-recorded) or the filesystem refused writes.
+    """
+    stats = store.stats() if hasattr(store, "stats") else store
+    kib = stats.size_bytes / 1024
+    return format_table(title,
+                        ["loaded", "saved", "errors", "entries", "on disk"],
+                        [[stats.loaded, stats.saved, stats.errors,
+                          stats.entries, f"{kib:.0f} KiB"]])

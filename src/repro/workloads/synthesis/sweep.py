@@ -28,7 +28,11 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import EngineConfig, InjectionEngine
-from repro.engine.checkpoint import GoldenRunCache, resolve_golden_cache
+from repro.engine.checkpoint import (
+    GoldenCacheStats,
+    GoldenRunCache,
+    resolve_golden_cache,
+)
 from repro.engine.executors import ParallelExecutor
 from repro.faultinjection.outcomes import OutcomeCounts
 from repro.faultinjection.vulnerability import VulnerabilityMap
@@ -73,13 +77,22 @@ class ProfileVulnerability:
 
 @dataclass
 class SyntheticSweepResult:
-    """Everything one seeded sweep produced."""
+    """Everything one seeded sweep produced.
+
+    ``cache_stats`` aggregates the golden-run cache traffic of this sweep
+    across the serial path or every pool worker (a
+    :class:`~repro.engine.GoldenCacheStats` fleet merge); ``store_stats``
+    is a census of the persistent artifact store when
+    ``config.artifact_dir`` was set.  Either is None when unavailable.
+    """
 
     core_name: str
     seed: int
     profiles: list[ProfileVulnerability]
     vulnerability: VulnerabilityMap
     campaign_results: list = field(default_factory=list)
+    cache_stats: GoldenCacheStats | None = None
+    store_stats: object | None = None
 
     @property
     def workload_names(self) -> list[str]:
@@ -97,6 +110,20 @@ class SyntheticSweepResult:
             ["profile", "workloads", "golden cycles", "injections",
              "SDC rate", "DUE rate"],
             rows)
+
+    def cache_table(self) -> str:
+        """Render the sweep's golden-cache (and store) telemetry tables."""
+        from repro.reporting import (format_artifact_store_stats,
+                                     format_golden_cache_stats)
+
+        parts = []
+        if self.cache_stats is not None:
+            parts.append(format_golden_cache_stats(
+                self.cache_stats,
+                title=f"Golden-run cache (sweep seed {self.seed})"))
+        if self.store_stats is not None:
+            parts.append(format_artifact_store_stats(self.store_stats))
+        return "\n\n".join(parts)
 
 
 # ---------------------------------------------------------------------- sharding
@@ -128,10 +155,15 @@ class SweepShard:
 
 @dataclass
 class SweepShardResult:
-    """Streamed aggregate for one executed sweep shard (unit order)."""
+    """Streamed aggregate for one executed sweep shard (unit order).
+
+    ``cache_stats`` snapshots the shard's private golden-run cache so the
+    parent can merge a fleet-wide readout (loads vs recordings across all
+    workers)."""
 
     index: int
     results: list
+    cache_stats: GoldenCacheStats | None = None
 
 
 @dataclass
@@ -167,7 +199,8 @@ def evaluate_sweep_shard(spec: SweepSpec, shard: SweepShard) -> SweepShardResult
                              injections=spec.injections, config=spec.config,
                              cache=cache)
                for unit in shard.units]
-    return SweepShardResult(index=shard.index, results=results)
+    return SweepShardResult(index=shard.index, results=results,
+                            cache_stats=cache.stats())
 
 
 def _shard_units(units: list[SweepUnit], workers: int,
@@ -183,18 +216,32 @@ def _shard_units(units: list[SweepUnit], workers: int,
 def _run_units_sharded(core: BaseCore, units: list[SweepUnit], injections: int,
                        config: EngineConfig | None, workers: int,
                        chunk_size: int | None,
-                       max_cache_entries: int | None = None) -> list:
-    """Fan campaigns out over the process pool; results in unit order."""
+                       max_cache_entries: int | None = None,
+                       ) -> tuple[list, GoldenCacheStats | None]:
+    """Fan campaigns out over the process pool; results in unit order.
+
+    Returns ``(campaign_results, merged_cache_stats)``: the shards' private
+    golden-cache snapshots merge (in shard order) into one fleet readout.
+    """
     inner = replace(config or EngineConfig(), workers=1)
     spec = SweepSpec(core=core, injections=injections, config=inner,
                      max_cache_entries=max_cache_entries)
     shards = _shard_units(units, workers, chunk_size)
     executor = ParallelExecutor(workers=workers)
     by_index: dict[int, list] = {}
+    stats_by_index: dict[int, GoldenCacheStats | None] = {}
     for shard_result in executor.stream(spec, shards, evaluate_sweep_shard):
         by_index[shard_result.index] = shard_result.results
-    return [result for index in range(len(shards))
-            for result in by_index[index]]
+        stats_by_index[shard_result.index] = shard_result.cache_stats
+    merged_stats: GoldenCacheStats | None = None
+    for index in range(len(shards)):
+        shard_stats = stats_by_index.get(index)
+        if shard_stats is None:
+            continue
+        merged_stats = (shard_stats if merged_stats is None
+                        else merged_stats.merged_with(shard_stats))
+    return ([result for index in range(len(shards))
+             for result in by_index[index]], merged_stats)
 
 
 # ---------------------------------------------------------------------- validation
@@ -265,7 +312,9 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
     family_names = families if families is not None else registry.family_names()
     _validate_sweep_seeds(seed, per_family, len(family_names),
                           injections_per_workload)
-    resolved_cache = resolve_golden_cache(golden_cache, max_cache_entries)
+    artifact_dir = config.artifact_dir if config is not None else None
+    resolved_cache = resolve_golden_cache(golden_cache, max_cache_entries,
+                                          artifact_dir=artifact_dir)
     units: list[SweepUnit] = []
     for family_index, family in enumerate(family_names):
         workloads = registry.build_family(family, seed=seed, count=per_family,
@@ -278,15 +327,28 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
                 campaign_seed=base_seed + offset))
 
     if workers > 1 and len(units) > 1:
-        results = _run_units_sharded(core, units, injections_per_workload,
-                                     config, workers, chunk_size,
-                                     max_cache_entries=max_cache_entries)
+        results, cache_stats = _run_units_sharded(
+            core, units, injections_per_workload, config, workers, chunk_size,
+            max_cache_entries=max_cache_entries)
     else:
         cache = resolved_cache if resolved_cache is not None else GoldenRunCache()
+        before = cache.stats()
         results = [_run_campaign(core, unit.program, seed=unit.campaign_seed,
                                  injections=injections_per_workload,
                                  config=config, cache=cache)
                    for unit in units]
+        cache_stats = _stats_delta(cache.stats(), before)
+    store_stats = None
+    if artifact_dir is not None:
+        from repro.engine.artifacts import GoldenArtifactStore
+
+        # Census-only view in the parent: the load/save traffic happened on
+        # the serial cache's store or inside the pool workers.
+        store = (resolved_cache.store
+                 if resolved_cache is not None
+                 and resolved_cache.store is not None
+                 else GoldenArtifactStore(artifact_dir))
+        store_stats = store.stats()
 
     # Fold in (family, member) order -- deterministic however shards landed.
     vulnerability = VulnerabilityMap(core.name, core.flip_flop_count)
@@ -307,7 +369,20 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
         profile.golden_cycles += result.golden.cycles
     return SyntheticSweepResult(core_name=core.name, seed=seed,
                                 profiles=profiles, vulnerability=vulnerability,
-                                campaign_results=campaign_results)
+                                campaign_results=campaign_results,
+                                cache_stats=cache_stats,
+                                store_stats=store_stats)
+
+
+def _stats_delta(after: GoldenCacheStats,
+                 before: GoldenCacheStats) -> GoldenCacheStats:
+    """Traffic attributable to this sweep on a possibly pre-used cache
+    (counters subtract; entries/capacity keep the final snapshot)."""
+    return GoldenCacheStats(
+        hits=after.hits - before.hits, misses=after.misses - before.misses,
+        entries=after.entries, max_entries=after.max_entries,
+        artifacts_loaded=after.artifacts_loaded - before.artifacts_loaded,
+        artifacts_saved=after.artifacts_saved - before.artifacts_saved)
 
 
 def _run_campaign(core: BaseCore, program: Program, seed: int, injections: int,

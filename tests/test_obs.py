@@ -299,9 +299,13 @@ class TestTracedCampaignReconciliation:
     def traced(self, tmp_path_factory):
         program = workload_by_name("histogram").program()
         trace_path = tmp_path_factory.mktemp("obs") / "campaign_trace.json"
+        # parallel_threshold=0: the fixture's 30 injections sit below the
+        # engine's small-plan serial fallback, and this class asserts
+        # multi-process trace tracks.
         result = run_campaign(InOrderCore(), program, seed=3, injections=30,
-                              workers=2, batch_width=8, convergence=True,
-                              metrics=True, trace=str(trace_path))
+                              workers=2, parallel_threshold=0, batch_width=8,
+                              convergence=True, metrics=True,
+                              trace=str(trace_path))
         return result, trace_path
 
     def test_phase_counters_reconcile_with_telemetry(self, traced):
@@ -331,7 +335,8 @@ class TestTracedCampaignReconciliation:
         result, _ = traced
         program = workload_by_name("histogram").program()
         plain = run_campaign(InOrderCore(), program, seed=3, injections=30,
-                             workers=2, batch_width=8, convergence=True)
+                             workers=2, parallel_threshold=0, batch_width=8,
+                             convergence=True)
         assert_same_statistics(plain, result)
 
     def test_phase_breakdown_table_reconciles(self, traced):
