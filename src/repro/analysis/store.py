@@ -21,12 +21,14 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
 from repro.analysis.pareto import ParetoFrontier, ParetoPoint
 from repro.obs import manifest_dict
+from repro.obs.manifest import manifest_drift
 
 STORE_FORMAT = "repro.pareto-frontier"
 """Document discriminator, so stray JSON files fail fast with a clear error."""
@@ -155,10 +157,22 @@ def save_frontier(path: str | Path, frontier: ParetoFrontier,
 def load_frontier(path: str | Path) -> StoredFrontier:
     """Load one persisted frontier.
 
+    Emits a :class:`RuntimeWarning` when the store's manifest records
+    package versions (or a git revision) different from the current
+    process: such a frontier still loads and merges fine, but is not a
+    replay target for bit-exact comparison.
+
     Raises:
         ValueError: for non-store documents or unsupported versions.
     """
-    return frontier_from_dict(json.loads(Path(path).read_text()))
+    store = frontier_from_dict(json.loads(Path(path).read_text()))
+    drift = manifest_drift(store.manifest)
+    if drift:
+        warnings.warn(
+            f"frontier store {Path(path).name!r} was produced by a different "
+            f"environment ({'; '.join(drift)}); results are comparable but "
+            "not bit-exact replay targets", RuntimeWarning, stacklevel=2)
+    return store
 
 
 def merge_frontiers(stores: Iterable[StoredFrontier | ParetoFrontier],

@@ -445,6 +445,7 @@ class CrossLayerExplorer:
                                targets=list(targets))
         shards = shard_combinations(len(pool), workers, chunk_size)
         executor = ParallelExecutor(workers=workers)
+        # audit: allow[completion-order-fold] records carry their pool coordinates (combination_index/target_index) and the ParetoFrontier fold is insertion-order invariant (pinned by test_exploration order tests)
         for shard_result in executor.stream(spec, shards, evaluate_exploration_shard):
             yield from shard_result.records
 

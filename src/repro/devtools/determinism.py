@@ -1,0 +1,420 @@
+"""Determinism lints.
+
+These rules encode the bug classes past PRs fixed by hand: builtin ``hash``
+feeding seeds (hash-randomized across processes), unsorted filesystem/set
+iteration leaking arbitrary order into folds or persisted output, unseeded
+process-global RNGs, wall-clock reads outside the observability layer, and
+Python's two classic shared-mutable-state traps in modules that are shipped
+to worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.devtools.findings import Finding, SourceModule
+from repro.devtools.rules import (Project, Rule, call_name, dotted_name,
+                                  is_mutable_value, register, tail_name)
+
+_SEED_CONTEXT_RE = re.compile(r"seed|key|digest|hash|fingerprint|rng|label",
+                              re.IGNORECASE)
+
+
+def _assigned_names(node: ast.AST) -> Iterable[str]:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            name = tail_name(target)
+            if name:
+                yield name
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        name = tail_name(node.target)
+        if name:
+            yield name
+
+
+@register
+class BuiltinHashRule(Rule):
+    """Builtin ``hash()``/``id()`` must not feed seeds, keys, or digests."""
+
+    rule_id = "builtin-hash"
+    summary = ("builtin hash() is salted per process (PYTHONHASHSEED) and "
+               "id() is an address; neither may feed seeds, keys, or digests")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = node.func.id if isinstance(node.func, ast.Name) else None
+            if name == "hash":
+                yield module.finding(
+                    node, self.rule_id,
+                    "builtin hash() is process-salted for str/bytes; derive "
+                    "stable values with zlib.crc32 or hashlib.blake2b over "
+                    "canonical bytes")
+            elif name == "id" and self._in_seed_context(module, node):
+                yield module.finding(
+                    node, self.rule_id,
+                    "id() is a memory address and varies run to run; use a "
+                    "stable identifier instead")
+
+    def _in_seed_context(self, module: SourceModule, node: ast.Call) -> bool:
+        for ancestor in module.ancestors(node):
+            for name in _assigned_names(ancestor):
+                if _SEED_CONTEXT_RE.search(name):
+                    return True
+            if isinstance(ancestor, ast.keyword) and ancestor.arg \
+                    and _SEED_CONTEXT_RE.search(ancestor.arg):
+                return True
+            if isinstance(ancestor, ast.Call):
+                callee = call_name(ancestor)
+                if callee and _SEED_CONTEXT_RE.search(callee.rsplit(".", 1)[-1]):
+                    return True
+        return False
+
+
+_ORDER_SAFE_CALLS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+    "bool", "Counter", "dict",
+})
+_MATERIALIZER_CALLS = frozenset({"list", "tuple"})
+
+
+@register
+class UnsortedIterationRule(Rule):
+    """Unordered sources must be ``sorted(...)`` before order can leak."""
+
+    rule_id = "unsorted-iteration"
+    summary = ("iteration over set/frozenset/Path.glob/Path.iterdir/"
+               "os.listdir must pass through sorted(...) before the order "
+               "can reach folds, labels, or persisted output")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            source = self._unordered_source(node)
+            if source is None:
+                continue
+            finding = self._consumed_unsorted(module, node, source)
+            if finding is not None:
+                yield finding
+
+    def _unordered_source(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.Call):
+            name = tail_name(node.func)
+            if isinstance(node.func, ast.Name) and name in ("set", "frozenset"):
+                return f"{name}()"
+            if isinstance(node.func, ast.Attribute):
+                if name in ("glob", "rglob", "iterdir"):
+                    return f".{name}()"
+                if name in ("listdir", "scandir") \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id == "os":
+                    return f"os.{name}()"
+        return None
+
+    def _consumed_unsorted(self, module: SourceModule, node: ast.AST,
+                           source: str) -> Finding | None:
+        message = (f"order of {source} is unspecified; wrap in sorted(...) "
+                   "before iterating, or fold order-insensitively")
+        parent = module.parent(node)
+        if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+            return module.finding(node, self.rule_id, message)
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            owner = module.parent(parent)
+            if isinstance(owner, (ast.SetComp, ast.DictComp)):
+                return None  # result is itself unordered; no order consumed
+            if isinstance(owner, ast.ListComp):
+                return module.finding(node, self.rule_id, message)
+            if isinstance(owner, ast.GeneratorExp):
+                consumer = module.parent(owner)
+                if self._order_sensitive_consumer(module, owner, consumer):
+                    return module.finding(node, self.rule_id, message)
+            return None
+        if isinstance(parent, ast.Call) and node in parent.args:
+            if self._order_sensitive_consumer(module, node, parent):
+                return module.finding(node, self.rule_id, message)
+        return None
+
+    def _order_sensitive_consumer(self, module: SourceModule, node: ast.AST,
+                                  consumer: ast.AST | None) -> bool:
+        if not isinstance(consumer, ast.Call):
+            return False
+        name = tail_name(consumer.func)
+        if name in _ORDER_SAFE_CALLS:
+            return False
+        if name == "join":
+            return True
+        if name in _MATERIALIZER_CALLS:
+            # list(...)/tuple(...) keep the arbitrary order alive -- unless
+            # the materialised value is immediately collapsed to something
+            # order-free (len/bool/not/membership/emptiness checks).
+            outer = module.parent(consumer)
+            if isinstance(outer, ast.UnaryOp) and isinstance(outer.op, ast.Not):
+                return False
+            if isinstance(outer, (ast.Assert, ast.If, ast.While)) \
+                    and getattr(outer, "test", None) is consumer:
+                return False
+            if isinstance(outer, ast.Call) \
+                    and tail_name(outer.func) in _ORDER_SAFE_CALLS:
+                return False
+            if isinstance(outer, ast.Compare):
+                return False
+            return True
+        if name in ("enumerate", "iter", "next"):
+            return True
+        return False
+
+
+_RANDOM_MODULE_FUNCTIONS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "seed", "getrandbits", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "gammavariate",
+    "paretovariate", "weibullvariate", "vonmisesvariate", "triangular",
+    "binomialvariate", "getstate", "setstate", "randbytes",
+})
+_NUMPY_RANDOM_FUNCTIONS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "seed", "normal", "uniform",
+    "standard_normal", "exponential", "poisson", "bytes", "get_state",
+    "set_state",
+})
+
+
+@register
+class UnseededRandomRule(Rule):
+    """No draws from the process-global RNGs."""
+
+    rule_id = "unseeded-random"
+    summary = ("module-level random/numpy.random calls share unseeded global "
+               "state; construct random.Random(seed) or "
+               "numpy.random.default_rng(seed) and pass it down")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        random_aliases: set[str] = set()
+        numpy_aliases: set[str] = set()
+        numpy_random_aliases: set[str] = set()
+        bare_functions: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            numpy_random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        bare_functions[alias.asname or alias.name] = alias.name
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_random_aliases.add(alias.asname or "random")
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                original = bare_functions.get(func.id)
+                if original in _RANDOM_MODULE_FUNCTIONS:
+                    yield self._finding(module, node, f"random.{original}")
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Name) \
+                    and receiver.id in random_aliases \
+                    and func.attr in _RANDOM_MODULE_FUNCTIONS:
+                yield self._finding(module, node, f"random.{func.attr}")
+                continue
+            is_np_random = (
+                (isinstance(receiver, ast.Name)
+                 and receiver.id in numpy_random_aliases)
+                or (isinstance(receiver, ast.Attribute)
+                    and receiver.attr == "random"
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in numpy_aliases))
+            if is_np_random:
+                if func.attr in _NUMPY_RANDOM_FUNCTIONS:
+                    yield self._finding(module, node,
+                                        f"numpy.random.{func.attr}")
+                elif func.attr == "default_rng" and not node.args \
+                        and not node.keywords:
+                    yield module.finding(
+                        node, self.rule_id,
+                        "numpy.random.default_rng() without a seed draws "
+                        "OS entropy; pass an explicit seed")
+
+    def _finding(self, module: SourceModule, node: ast.Call,
+                 name: str) -> Finding:
+        return module.finding(
+            node, self.rule_id,
+            f"{name}() uses the unseeded process-global RNG; construct "
+            "random.Random(seed) / numpy.random.default_rng(seed) instead")
+
+
+_WALL_CLOCK_ATTRS = frozenset({
+    "time", "time_ns", "now", "utcnow", "today", "localtime", "gmtime",
+    "ctime", "asctime",
+})
+_WALL_CLOCK_MODULES = frozenset({"time", "datetime", "date"})
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads belong in ``obs/`` (manifests, timers) only."""
+
+    rule_id = "wall-clock"
+    summary = ("time.time()/datetime.now() make outputs run-varying; "
+               "wall-clock reads live in obs/ (perf_counter for intervals "
+               "is fine anywhere)")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        if "obs" in module.parts:
+            return
+        bare_clocks: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        bare_clocks.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id in bare_clocks:
+                yield self._finding(module, node, node.func.id)
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] in _WALL_CLOCK_ATTRS \
+                    and any(part in _WALL_CLOCK_MODULES for part in parts[:-1]):
+                yield self._finding(module, node, name)
+
+    def _finding(self, module: SourceModule, node: ast.Call,
+                 name: str) -> Finding:
+        return module.finding(
+            node, self.rule_id,
+            f"{name}() reads the wall clock outside obs/; results and "
+            "artifacts must not depend on when a run happens")
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments, anywhere."""
+
+    rule_id = "mutable-default"
+    summary = ("mutable default arguments are shared across calls (and "
+               "across shards once shipped to workers); default to None")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if is_mutable_value(default):
+                    owner = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        default, self.rule_id,
+                        f"mutable default argument on {owner!r} is evaluated "
+                        "once and shared across calls; default to None and "
+                        "construct inside the body")
+
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "clear", "remove", "discard", "setdefault", "sort", "reverse",
+    "__setitem__",
+})
+_WORKER_SHIPPED_PARTS = ("engine", "faultinjection")
+
+
+@register
+class ModuleMutableStateRule(Rule):
+    """Worker-shipped modules must not mutate module-level state."""
+
+    rule_id = "module-mutable-state"
+    summary = ("module-level state mutated from functions in engine/ or "
+               "faultinjection/ diverges between the parent process and "
+               "forked/spawned workers")
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        if not any(part in _WORKER_SHIPPED_PARTS for part in module.parts):
+            return
+        module_names: dict[str, int] = {}
+        for stmt in module.tree.body:
+            for name in _assigned_names(stmt):
+                module_names.setdefault(name, stmt.lineno)
+
+        mutated: dict[str, int] = {}  # name -> anchor line
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_names = self._local_bindings(func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    for name in node.names:
+                        anchor = module_names.get(name, node.lineno)
+                        mutated.setdefault(name, anchor)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if isinstance(target, ast.Subscript) \
+                                and isinstance(target.value, ast.Name):
+                            name = target.value.id
+                            if name in module_names \
+                                    and name not in local_names:
+                                mutated.setdefault(name, module_names[name])
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in _MUTATOR_METHODS \
+                        and isinstance(node.func.value, ast.Name):
+                    name = node.func.value.id
+                    if name in module_names and name not in local_names:
+                        mutated.setdefault(name, module_names[name])
+
+        for name, line in sorted(mutated.items(), key=lambda item: item[1]):
+            yield module.finding(
+                line, self.rule_id,
+                f"module-level {name!r} is mutated from function scope in a "
+                "worker-shipped module; workers fork/spawn with their own "
+                "copy, so this state silently diverges across processes")
+
+    def _local_bindings(self, func: ast.AST) -> set[str]:
+        names: set[str] = set()
+        args = func.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            names.add(arg.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+        return names - declared_global

@@ -1,0 +1,183 @@
+"""Findings, suppression comments, and parsed source modules.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are suppressed per line with::
+
+    value = hash(key)  # audit: allow[builtin-hash] reason why this is safe
+
+The comment may sit on the finding line or on the line directly above it.
+The reason is mandatory -- a bare ``allow[...]`` is itself reported as a
+``bad-suppression`` finding, so suppressions stay auditable.
+
+Fixture files (known-bad inputs for the auditor's own tests) opt out of the
+default tree walk by carrying ``# audit: fixture`` within their first few
+lines; the test suite loads them explicitly with ``include_fixtures=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SUPPRESSION_RE = re.compile(
+    r"#\s*audit:\s*allow\[(?P<rule>[a-z0-9-]+)\]\s*(?P<reason>.*)")
+FIXTURE_RE = re.compile(r"#\s*audit:\s*fixture\b")
+
+# How many leading lines may carry the fixture marker.
+_FIXTURE_SCAN_LINES = 5
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# audit: allow[rule-id] reason`` comment."""
+
+    line: int
+    rule_id: str
+    reason: str
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression]
+    is_fixture: bool
+    _parents: dict[int, ast.AST] | None = field(default=None, repr=False)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.relpath).parts
+
+    def parent_map(self) -> dict[int, ast.AST]:
+        """Map ``id(node) -> parent node`` for the whole tree (built lazily)."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parent_map().get(id(node))
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Parents of ``node`` from the closest outward, excluding Module."""
+        chain: list[ast.AST] = []
+        current = self.parent(node)
+        while current is not None and not isinstance(current, ast.Module):
+            chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def finding(self, node_or_line, rule_id: str, message: str) -> Finding:
+        if isinstance(node_or_line, ast.AST):
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0) + 1
+        else:
+            line, col = int(node_or_line), 1
+        return Finding(path=self.relpath, line=line, col=col,
+                       rule_id=rule_id, message=message)
+
+
+def scan_comments(source: str) -> tuple[list[Suppression], bool]:
+    """Extract suppression comments and the fixture marker from ``source``.
+
+    Uses :mod:`tokenize` so ``#`` inside string literals never parses as a
+    comment.  Returns ``(suppressions, is_fixture)``.
+    """
+    suppressions: list[Suppression] = []
+    is_fixture = False
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line = token.start[0]
+            match = SUPPRESSION_RE.search(token.string)
+            if match:
+                suppressions.append(Suppression(
+                    line=line, rule_id=match.group("rule"),
+                    reason=match.group("reason").strip()))
+            if line <= _FIXTURE_SCAN_LINES and FIXTURE_RE.search(token.string):
+                is_fixture = True
+    except tokenize.TokenError:
+        # Unterminated constructs: fall back to a plain line scan so a file
+        # that still parses with ast keeps its suppressions.
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = SUPPRESSION_RE.search(text)
+            if match:
+                suppressions.append(Suppression(
+                    line=lineno, rule_id=match.group("rule"),
+                    reason=match.group("reason").strip()))
+            if lineno <= _FIXTURE_SCAN_LINES and FIXTURE_RE.search(text):
+                is_fixture = True
+    return suppressions, is_fixture
+
+
+def parse_module(source: str, path: Path, relpath: str) -> SourceModule:
+    """Parse ``source`` into a :class:`SourceModule` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=relpath)
+    suppressions, is_fixture = scan_comments(source)
+    return SourceModule(path=path, relpath=relpath, source=source,
+                        tree=tree, suppressions=suppressions,
+                        is_fixture=is_fixture)
+
+
+def apply_suppressions(module: SourceModule,
+                       findings: list[Finding],
+                       known_rule_ids: frozenset[str]) -> list[Finding]:
+    """Drop suppressed findings; report malformed suppressions.
+
+    A suppression matches a finding when its rule id agrees and it sits on
+    the finding line or the line directly above.  Suppressions with a
+    missing reason or an unknown rule id become ``bad-suppression``
+    findings (which cannot themselves be suppressed).
+    """
+    by_key: dict[tuple[int, str], Suppression] = {}
+    kept: list[Finding] = []
+    bad: list[Finding] = []
+    for suppression in module.suppressions:
+        if suppression.rule_id not in known_rule_ids:
+            bad.append(Finding(
+                path=module.relpath, line=suppression.line, col=1,
+                rule_id="bad-suppression",
+                message=(f"unknown rule id {suppression.rule_id!r} in "
+                         "suppression comment")))
+            continue
+        if not suppression.reason:
+            bad.append(Finding(
+                path=module.relpath, line=suppression.line, col=1,
+                rule_id="bad-suppression",
+                message=(f"suppression of {suppression.rule_id!r} needs a "
+                         "reason: # audit: allow[rule-id] why it is safe")))
+            continue
+        by_key[(suppression.line, suppression.rule_id)] = suppression
+    for finding in findings:
+        if ((finding.line, finding.rule_id) in by_key
+                or (finding.line - 1, finding.rule_id) in by_key):
+            continue
+        kept.append(finding)
+    return kept + bad

@@ -1,0 +1,132 @@
+"""Rule base class, registry, and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.findings import Finding, SourceModule
+
+
+class Project:
+    """The set of modules being audited in one run.
+
+    Cross-module rules (state coverage resolves class hierarchies across
+    files) see the whole project; per-module rules just iterate.
+    """
+
+    def __init__(self, modules: Iterable[SourceModule]):
+        self.modules = list(modules)
+        self.by_relpath = {module.relpath: module for module in self.modules}
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+
+class Rule:
+    """One named invariant checked over the project.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement either
+    :meth:`check_module` (per-file rules) or :meth:`check` (cross-module
+    rules such as state coverage).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            yield from self.check_module(module, project)
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterable[Finding]:
+        return ()
+
+
+RULES: list[Rule] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding an instance of ``cls`` to the registry."""
+    RULES.append(cls())
+    return cls
+
+
+def rule_ids() -> frozenset[str]:
+    # bad-suppression is emitted by the suppression machinery itself and
+    # syntax-error by the loader; both are valid ids for reporting but
+    # deliberately not suppressible rules.
+    return frozenset(rule.rule_id for rule in RULES)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else None."""
+    return dotted_name(node.func)
+
+
+def tail_name(node: ast.AST) -> str | None:
+    """The final identifier of a Name/Attribute (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def enclosing_functions(module: SourceModule,
+                        node: ast.AST) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function defs containing ``node``, innermost first."""
+    return [ancestor for ancestor in module.ancestors(node)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def enclosing_class(module: SourceModule,
+                    node: ast.AST) -> ast.ClassDef | None:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def is_self_attribute(node: ast.AST) -> str | None:
+    """Return the attribute name when ``node`` is ``self.<attr>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                    ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict", "array",
+})
+
+
+def is_mutable_value(node: ast.AST) -> bool:
+    """Conservative: does this expression produce an obviously mutable value?"""
+    if isinstance(node, MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = tail_name(node.func)
+        return name in MUTABLE_CONSTRUCTORS
+    return False

@@ -242,7 +242,9 @@ class GoldenArtifactStore:
         entries = 0
         size = 0
         try:
-            for path in self.root.glob(f"*{ARTIFACT_SUFFIX}"):
+            # sorted: glob order is filesystem-dependent, and the census must
+            # not change shape between hosts sharing one store directory.
+            for path in sorted(self.root.glob(f"*{ARTIFACT_SUFFIX}")):
                 try:
                     size += path.stat().st_size
                 except OSError:

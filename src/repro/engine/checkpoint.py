@@ -425,6 +425,7 @@ def cache_for_artifact_dir(artifact_dir, max_entries: int | None = None,
     return cache
 
 
+# audit: allow[module-mutable-state] parent-process-only interning table; workers receive caches via the executor payload, never this dict
 _STORE_CACHES: dict = {}
 """Per-artifact-directory shared caches (see :func:`cache_for_artifact_dir`)."""
 

@@ -467,7 +467,9 @@ class SerialExecutor:
 
 
 # ---------------------------------------------------------------------- workers
+# audit: allow[module-mutable-state] pool-initializer slot: written exactly once per worker by _init_worker, before any shard runs
 _WORKER_PAYLOAD: Any = None
+# audit: allow[module-mutable-state] pool-initializer slot: written exactly once per worker by _init_worker, before any shard runs
 _WORKER_FN: ShardFunction | None = None
 
 

@@ -93,6 +93,7 @@ class BaseCore(ABC):
         self.core_class = core_class
         self.registry = FlipFlopRegistry(name)
         self.latches: LatchState | None = None
+        # audit: allow[state-coverage] snapshots deliberately omit the program; restore(snapshot, program) re-binds it explicitly
         self._program: Program | None = None
         self._cycle = 0
         self._retired = 0
@@ -100,7 +101,9 @@ class BaseCore(ABC):
         self._detections: list[DetectionEvent] = []
         self._recovery_cycles = 0
         self._pending_recovery = 0
+        # audit: allow[state-coverage] snapshots are only taken at live cycle boundaries, where termination is None by construction
         self._termination: TerminationReason | None = None
+        # audit: allow[state-coverage] a trap latches into _termination the same cycle; never live at a snapshot boundary
         self._trap: TrapKind | None = None
 
     # ------------------------------------------------------------------ build
@@ -205,6 +208,20 @@ class BaseCore(ABC):
         Call from a cycle hook (the start of a cycle) or after termination;
         the snapshot can later be handed to :meth:`restore`/:meth:`resume` on
         this core or any identically-constructed one.
+
+        **Coverage contract.**  Every run-varying attribute a subclass adds
+        must be captured here (via :meth:`_snapshot_microarchitecture`),
+        re-adopted by :meth:`restore` (via
+        :meth:`_restore_microarchitecture`), *and* hashed by
+        :meth:`state_fingerprint` (via
+        :meth:`_fingerprint_microarchitecture`) -- state that escapes any
+        leg of the trio survives restore silently corrupted, and the
+        convergence gate will declare divergent runs converged.  The
+        ``state-coverage`` audit rule (``python -m repro.devtools.audit``)
+        enforces this statically: attributes mutated outside ``__init__``
+        and the trio must appear in all three, or carry a reasoned
+        ``# audit: allow[state-coverage]`` suppression at their declaration
+        (as ``_program``, ``_termination`` and ``_trap`` do above).
         """
         if self.latches is None:
             raise RuntimeError("core state was never finalised")
@@ -235,6 +252,11 @@ class BaseCore(ABC):
         Digests are deterministic across processes (no ``hash()``-style
         per-process randomisation), so a grid recorded in the parent can be
         compared against in pool workers.
+
+        The snapshot/fingerprint agreement is a checked invariant: the
+        ``state-coverage`` rule of :mod:`repro.devtools` fails the audit
+        when a subclass grows run-varying state that this digest (or the
+        snapshot/restore pair) does not cover.
         """
         if self.latches is None:
             raise RuntimeError("core state was never finalised")

@@ -59,6 +59,7 @@ class InOrderCore(BaseCore):
         self._finalize_state()
         self.memory = MemorySystem()
         self.registers: list[int] = [0] * NUM_REGISTERS
+        # audit: allow[state-coverage] the predictor is a stateless view; its tables/history live in self.latches, which the contract covers
         self._predictor = BimodalPredictor(
             self.latches, "f.bp.table", "f.bp.history", entries=32)
 

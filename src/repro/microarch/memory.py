@@ -63,6 +63,7 @@ class MemorySystem:
     def __init__(self, regions: tuple[MemoryRegion, ...] = DEFAULT_REGIONS):
         self._regions = regions
         self._words: dict[int, int] = {}
+        # audit: allow[state-coverage] memoised view of _words, invalidated on every write; carries no state of its own
         self._fingerprint_cache: tuple[tuple[int, int], ...] | None = None
 
     def reset(self, program: Program) -> None:

@@ -35,6 +35,7 @@ class LatchState:
         self._widths: list[int] = [s.width for s in structures]
         self._masks: list[int] = [(1 << s.width) - 1 for s in structures]
         self._data: list[int] = [0] * len(structures)
+        # audit: allow[state-coverage] lazily-built index over the frozen registry layout; derived from structure, not run state
         self._unit_indices: dict[str, list[int]] | None = None
 
     @property

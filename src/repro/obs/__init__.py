@@ -35,6 +35,7 @@ from repro.obs.manifest import (
     build_manifest,
     git_revision,
     manifest_dict,
+    manifest_drift,
 )
 from repro.obs.metrics import (
     DEFAULT_METRICS,
@@ -104,6 +105,7 @@ __all__ = [
     "default_metrics",
     "git_revision",
     "manifest_dict",
+    "manifest_drift",
     "phase_cycle_totals",
     "phases",
     "replayed_cycle_total",

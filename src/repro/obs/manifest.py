@@ -136,3 +136,37 @@ def manifest_dict(seed: int | None = None, core=None, config=None,
     """:func:`build_manifest` already serialized (the common call shape)."""
     return build_manifest(seed=seed, core=core, config=config,
                           **extra).to_dict()
+
+
+def manifest_drift(manifest: dict | RunManifest | None,
+                   current: dict | RunManifest | None = None) -> list[str]:
+    """Describe how a loaded artefact's provenance differs from this process.
+
+    Compares the package versions (and git revision, when both sides have
+    one) recorded in a loaded frontier/artifact manifest against the current
+    environment.  Returns human-readable drift notes, empty when provenance
+    matches -- loaders warn on a non-empty result and
+    :func:`repro.reporting.format_artifact_store_stats` surfaces it, because
+    results produced by a different package version are not replay targets
+    for bit-exact comparison.
+    """
+    if manifest is None:
+        return []
+    loaded = manifest.to_dict() if isinstance(manifest, RunManifest) else manifest
+    if current is None:
+        reference = {"packages": _package_versions(), "git": git_revision()}
+    else:
+        reference = (current.to_dict() if isinstance(current, RunManifest)
+                     else current)
+    drift: list[str] = []
+    loaded_packages = loaded.get("packages") or {}
+    current_packages = reference.get("packages") or {}
+    for package in sorted(set(loaded_packages) & set(current_packages)):
+        was, now = loaded_packages[package], current_packages[package]
+        if was != now:
+            drift.append(f"{package} {was} -> {now}")
+    loaded_git = loaded.get("git")
+    current_git = reference.get("git")
+    if loaded_git and current_git and loaded_git != current_git:
+        drift.append(f"git {loaded_git[:12]} -> {current_git[:12]}")
+    return drift

@@ -192,7 +192,8 @@ def format_golden_cache_stats(cache, title: str = "Golden-run cache") -> str:
 
 
 def format_artifact_store_stats(store,
-                                title: str = "Golden-artifact store") -> str:
+                                title: str = "Golden-artifact store",
+                                manifest=None) -> str:
     """Render a :class:`repro.engine.GoldenArtifactStore` health readout.
 
     Accepts a store or an already-captured
@@ -201,10 +202,24 @@ def format_artifact_store_stats(store,
     census the directory, which other processes share.  A non-zero error
     count means defective blobs were encountered (and transparently
     re-recorded) or the filesystem refused writes.
+
+    Pass the manifest recorded alongside the artefacts (a
+    :class:`~repro.obs.RunManifest` or its dict) to append a provenance
+    line: artefacts written by a different package version or git revision
+    are flagged, since they are not bit-exact replay targets for this
+    build.
     """
     stats = store.stats() if hasattr(store, "stats") else store
     kib = stats.size_bytes / 1024
-    return format_table(title,
-                        ["loaded", "saved", "errors", "entries", "on disk"],
-                        [[stats.loaded, stats.saved, stats.errors,
-                          stats.entries, f"{kib:.0f} KiB"]])
+    table = format_table(title,
+                         ["loaded", "saved", "errors", "entries", "on disk"],
+                         [[stats.loaded, stats.saved, stats.errors,
+                           stats.entries, f"{kib:.0f} KiB"]])
+    if manifest is not None:
+        from repro.obs import manifest_drift
+
+        drift = manifest_drift(manifest)
+        note = ("provenance: matches this environment" if not drift
+                else "provenance DRIFT: " + "; ".join(drift))
+        table = f"{table}\n{note}"
+    return table

@@ -1,0 +1,6 @@
+# audit: fixture
+"""Known-bad input for the auditor: builtin hash() feeding a seed."""
+
+
+def seed_for(label: str) -> int:
+    return hash(label) & 0xFFFF

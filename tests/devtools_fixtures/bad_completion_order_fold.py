@@ -1,0 +1,9 @@
+# audit: fixture
+"""Known-bad input for the auditor: folding results in completion order."""
+
+
+def fold(executor, spec, shards, fn):
+    outputs = []
+    for result in executor.stream(spec, shards, fn):
+        outputs.append(result.value)
+    return outputs

@@ -1,0 +1,7 @@
+# audit: fixture
+"""Known-bad input for the auditor: mutable default argument."""
+
+
+def collect(value, into=[]):
+    into.append(value)
+    return into

@@ -1,0 +1,16 @@
+# audit: fixture
+"""Known-bad input for the auditor: malformed suppression comments.
+
+A reason-less ``allow`` and an unknown rule id are both reported as
+``bad-suppression`` and do NOT silence the underlying finding.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # audit: allow[wall-clock]
+
+
+def stamp_ns() -> float:
+    return time.time()  # audit: allow[no-such-rule] misspelled rule ids must not silence anything

@@ -1,0 +1,6 @@
+# audit: fixture
+"""Known-bad input for the auditor: lambda dispatched to the executor layer."""
+
+
+def run(executor, spec, shards):
+    return sum(1 for _ in executor.stream(spec, shards, lambda payload, shard: shard))

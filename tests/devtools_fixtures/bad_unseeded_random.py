@@ -1,0 +1,8 @@
+# audit: fixture
+"""Known-bad input for the auditor: drawing from the process-global RNG."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,9 @@
+# audit: fixture
+"""Known-bad input for the auditor: folding Path.glob in filesystem order."""
+
+
+def artifact_labels(root):
+    labels = []
+    for path in root.glob("*.json"):
+        labels.append(path.stem)
+    return labels

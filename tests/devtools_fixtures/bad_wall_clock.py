@@ -1,0 +1,8 @@
+# audit: fixture
+"""Known-bad input for the auditor: wall-clock read outside obs/."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,26 @@
+# audit: fixture
+"""Negative input for the auditor: deterministic idioms that must not flag."""
+
+import hashlib
+import random
+
+
+def seed_for(label: str) -> int:
+    digest = hashlib.blake2b(label.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def draw(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def artifact_labels(root):
+    return [path.stem for path in sorted(root.glob("*.json"))]
+
+
+def census(root) -> int:
+    return sum(1 for _ in root.glob("*.json"))
+
+
+def unique_stems(root):
+    return {path.stem for path in root.glob("*.json")}

@@ -1,0 +1,13 @@
+# audit: fixture
+"""Known-bad input for the auditor: module state mutated from functions.
+
+Lives under an ``engine/`` path segment because the rule is scoped to
+worker-shipped modules.
+"""
+
+_CACHE: dict = {}
+
+
+def remember(key, value):
+    _CACHE[key] = value
+    return value

@@ -1,0 +1,13 @@
+# audit: fixture
+"""Negative input for the auditor: bad patterns with reasoned suppressions."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # audit: allow[wall-clock] fixture demonstrating same-line suppression
+
+
+def seed_for(label: str) -> int:
+    # audit: allow[builtin-hash] fixture demonstrating line-above suppression
+    return hash(label) & 0xFFFF
