@@ -37,14 +37,19 @@ def bench_output_dir() -> Path:
 
 
 def persist_bench(name: str, headers: list[str], rows: list[list],
-                  context: dict | None = None) -> Path:
+                  context: dict | None = None, seed: int | None = None,
+                  core=None, config=None) -> Path:
     """Write one benchmark's result table to ``BENCH_<name>.json``.
 
     The payload is machine-readable (headers + rows + host context) so later
     PRs can diff throughput numbers without re-parsing printed tables.  The
     document carries ``schema`` (see :data:`BENCH_SCHEMA`), the git revision
     of the working tree in ``context``, and a full provenance manifest
-    (:func:`repro.obs.manifest_dict`).  Returns the written path.
+    (:func:`repro.obs.manifest_dict`).  ``seed``, ``core`` and ``config``
+    thread the benchmark's campaign seed, core (class or instance) and
+    :class:`~repro.engine.EngineConfig` into the manifest -- without them the
+    manifest records ``null`` provenance, which defeats drift detection.
+    Returns the written path.
     """
     path = bench_output_dir() / f"BENCH_{name}.json"
     payload = {
@@ -59,7 +64,8 @@ def persist_bench(name: str, headers: list[str], rows: list[list],
             "git": git_revision(),
             **(context or {}),
         },
-        "manifest": manifest_dict(benchmark=name),
+        "manifest": manifest_dict(seed=seed, core=core, config=config,
+                                  benchmark=name),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

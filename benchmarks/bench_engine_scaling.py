@@ -46,6 +46,7 @@ from _harness import persist_bench, run_once
 
 from repro.engine import EngineConfig, GoldenRunCache, InjectionEngine
 from repro.microarch import InOrderCore
+from repro.obs.phases import (COUNT_FINGERPRINT_CHECKS, PHASE_CONVERGENCE)
 from repro.reporting import format_table
 from repro.workloads import workload_by_name
 
@@ -60,6 +61,15 @@ of the simulated injected-run cycles on the standard campaign."""
 MIN_BATCH_SPEEDUP = 5.0
 """Acceptance floor: batched lockstep replay at width >=16 must beat the
 serial convergence-gated reference (same campaign size) by this factor."""
+MIN_ROLLING_SPEEDUP = 1.3
+"""Rolling-fingerprint acceptance, throughput branch: injections/s over the
+full-digest converged baseline."""
+MIN_FP_TIME_REDUCTION = 3.0
+"""Rolling-fingerprint acceptance, phase-time branch: reduction in measured
+convergence-phase (fingerprint hashing) wall time.  Either this OR the
+throughput branch must hold -- fingerprinting is a few percent of scalar
+replay wall time on this workload, so the phase-time branch is the
+meaningful one."""
 
 
 def bench_engine_scaling(benchmark):
@@ -147,19 +157,88 @@ def bench_engine_scaling(benchmark):
                          f"{100 * result.evicted_fraction:.0f}%",
                          f"{elapsed:.2f}s", f"{rate:.1f}",
                          f"{speedup:.2f}x"])
+
+        # ------------------------------------------------ rolling fingerprints
+        # Metered group (EngineConfig(metrics=True) on both sides so the
+        # convergence-phase timer records the actual hashing cost): full
+        # digests at every grid point vs rolling digests under the adaptive
+        # per-site schedule.  Statistics must stay bit-identical; the
+        # acceptance target is MIN_ROLLING_SPEEDUP on throughput OR
+        # MIN_FP_TIME_REDUCTION on the measured fingerprint-phase time.
+        def fp_phase(result):
+            timers = result.metrics.get("timers", {})
+            entry = timers.get(PHASE_CONVERGENCE)
+            seconds = entry["seconds"] if entry else 0.0
+            probes = result.metrics.get("counters", {}).get(
+                COUNT_FINGERPRINT_CHECKS, 0)
+            return probes, seconds
+
+        # The middle row is the ablation: rolling digests on the dense grid
+        # alone cannot win on this core (the latch file spans only 3 banks
+        # and nearly every bank is written every cycle, so per-probe cost is
+        # flat) -- the win comes from the adaptive schedule slashing the
+        # probe *count* on diverging sites.  The acceptance assert therefore
+        # rides on the combined final row.
+        rolling_modes = [
+            ("serial, converged (metered)", EngineConfig(metrics=True), False),
+            ("rolling fingerprints (metered)",
+             EngineConfig(metrics=True, rolling_fingerprints=True), False),
+            ("rolling + adaptive spacing (metered)",
+             EngineConfig(metrics=True, rolling_fingerprints=True,
+                          adaptive_check_spacing=True), True),
+        ]
+        full_rate = None
+        full_seconds = None
+        full_per_site = None
+        for label, config, asserted in rolling_modes:
+            checkpointed, result, elapsed = run_campaign(config, INJECTIONS)
+            assert result.outcomes == reference, \
+                "rolling fingerprints must not change outcome statistics"
+            if full_per_site is None:
+                full_per_site = result.per_site
+            assert result.per_site == full_per_site, \
+                "rolling fingerprints must not change per-site tallies"
+            probes, fp_seconds = fp_phase(result)
+            rate = INJECTIONS / elapsed
+            if full_rate is None:
+                full_rate = rate
+                full_seconds = fp_seconds
+                speedup = 1.0
+            else:
+                speedup = rate / full_rate
+            if asserted:
+                reduction = (full_seconds / fp_seconds
+                             if fp_seconds > 0 else float("inf"))
+                assert (speedup >= MIN_ROLLING_SPEEDUP
+                        or reduction >= MIN_FP_TIME_REDUCTION), (
+                    f"{label}: {speedup:.2f}x throughput (floor "
+                    f"{MIN_ROLLING_SPEEDUP}x) and {reduction:.1f}x "
+                    f"fingerprint-phase time reduction (floor "
+                    f"{MIN_FP_TIME_REDUCTION}x) -- neither branch met")
+            rows.append([label, "-", checkpointed.checkpoint_count,
+                         checkpointed.fingerprint_count,
+                         result.replayed_cycles,
+                         f"{100 * result.saved_cycle_fraction:.0f}%",
+                         f"{probes} probes / {1000 * fp_seconds:.1f}ms fp",
+                         f"{elapsed:.2f}s", f"{rate:.1f}",
+                         f"{speedup:.2f}x"])
         return rows
 
     rows = run_once(benchmark, payload)
     headers = ["strategy", "batch width", "checkpoints", "fingerprints",
-               "replayed cycles", "cycles saved", "evicted", "wall time",
-               "injections/s", "speedup"]
+               "replayed cycles", "cycles saved", "evicted / fp cost",
+               "wall time", "injections/s", "speedup"]
     persist_bench("engine", headers, rows,
                   context={"workload": WORKLOAD, "injections": INJECTIONS,
                            "batch_injections": BATCH_INJECTIONS,
                            "batch_widths": list(BATCH_WIDTHS),
                            "parallel_workers": PARALLEL_WORKERS,
                            "min_saved_cycle_fraction": MIN_SAVED_CYCLE_FRACTION,
-                           "min_batch_speedup": MIN_BATCH_SPEEDUP})
+                           "min_batch_speedup": MIN_BATCH_SPEEDUP,
+                           "min_rolling_speedup": MIN_ROLLING_SPEEDUP,
+                           "min_fp_time_reduction": MIN_FP_TIME_REDUCTION},
+                  seed=9, core=InOrderCore(),
+                  config=EngineConfig())
     print()
     print(format_table(
         f"Engine scaling on {WORKLOAD} (InO-core); speedup is vs each "

@@ -125,7 +125,8 @@ def bench_exploration_full_sweep(benchmark):
     headers = ["strategy", "pairs", "wall time", "pairs/s", "speedup"]
     persist_bench("exploration", headers, rows,
                   context={"combinations": 586, "targets": len(sdc_targets()),
-                           "parallel_workers": PARALLEL_WORKERS})
+                           "parallel_workers": PARALLEL_WORKERS},
+                  seed=2016, core="InO+OoO")
     print()
     print(format_table(
         f"Exploration scaling: 586 combinations x {len(sdc_targets())} targets "

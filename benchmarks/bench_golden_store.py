@@ -164,7 +164,8 @@ def bench_golden_store(benchmark):
                            "schedule_injections": SCHEDULE_INJECTIONS,
                            "batch_width": BATCH_WIDTH,
                            "workers": WORKERS,
-                           "min_warm_speedup": MIN_WARM_SPEEDUP})
+                           "min_warm_speedup": MIN_WARM_SPEEDUP},
+                  seed=9, core=InOrderCore(), config=EngineConfig())
     print()
     print(format_table(
         f"Golden-artifact store on {WORKLOAD} (InO-core); wall time "

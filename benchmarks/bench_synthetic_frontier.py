@@ -19,7 +19,8 @@ from _harness import persist_bench, run_once
 from repro.analysis.store import load_frontier
 from repro.core import enumerate_combinations, sdc_targets
 from repro.microarch import InOrderCore
-from repro.reporting import format_frontier, format_table
+from repro.reporting import (format_convergence_summary, format_frontier,
+                             format_table)
 from repro.workloads.synthesis import explore_synthetic_frontier
 
 SEED = 2016
@@ -65,10 +66,15 @@ def bench_synthetic_frontier(benchmark):
                            "injections_per_workload": INJECTIONS_PER_WORKLOAD,
                            "target_cycles": TARGET_CYCLES,
                            "combination_step": COMBINATION_STEP,
-                           "targets": TARGET_COUNT})
+                           "targets": TARGET_COUNT},
+                  seed=SEED, core=InOrderCore())
     print()
     print(format_table("Synthetic-workload-driven frontier pipeline",
                        headers, rows))
     print()
     print(format_frontier("Frontier (measured synthetic vulnerability)",
                           result.frontier))
+    print()
+    print(format_convergence_summary(
+        [(p.family, p) for p in result.sweep.profiles],
+        title="Convergence gate (sweep behind the frontier)"))

@@ -58,7 +58,8 @@ def bench_synthetic_scaling(benchmark):
     persist_bench("synthetic", headers, rows,
                   context={"seed": SEED, "per_family": PER_FAMILY,
                            "injections_per_workload": INJECTIONS_PER_WORKLOAD,
-                           "families": family_names()})
+                           "families": family_names()},
+                  seed=SEED, core=InOrderCore(), config=EngineConfig())
     print()
     print(format_table(
         f"Synthetic scaling: {len(family_names())} families x "

@@ -86,7 +86,7 @@ def bench_table11_14_injection_levels(benchmark):
         injector = HighLevelInjector(core, seed=5)
         for level in (InjectionLevel.REGISTER_UNIFORM, InjectionLevel.REGISTER_WRITE,
                       InjectionLevel.VARIABLE_UNIFORM, InjectionLevel.VARIABLE_WRITE):
-            counts = injector.campaign(level, workload.program(), count=40)
+            counts = injector.campaign(level, workload.program(), count=40).counts
             rows.append([level.value, f"{100 * counts.sdc_count / counts.total:.1f}%",
                          f"{100 * counts.due_count / counts.total:.1f}%"])
         return rows

@@ -48,9 +48,13 @@ from repro.microarch.core import BaseCore
 ARTIFACT_FORMAT = "repro.golden-artifact"
 """Blob discriminator, so stray pickle files fail fast with a clean miss."""
 
-ARTIFACT_VERSION = 1
+ARTIFACT_VERSION = 2
 """Blob layout version; bump on incompatible changes.  A store never reads
-a version it does not understand -- the artifact is simply re-recorded."""
+a version it does not understand -- the artifact is simply re-recorded.
+
+Version 2: the fingerprint grid switched to the tree digest composition
+(header + latch banks + microarchitecture component), so version-1 grids
+are not comparable against either fingerprint path of this build."""
 
 ARTIFACT_SUFFIX = ".golden.pkl"
 """Filename suffix of every blob in a store directory."""

@@ -42,6 +42,7 @@ from repro.engine.executors import (
     shard_plan,
     shard_plan_guided,
 )
+from repro.engine.schedule import ConvergenceSchedule
 from repro.faultinjection.injector import (
     Injection,
     ProtectionProvider,
@@ -128,6 +129,26 @@ class EngineConfig:
             static up-front sharding, kept for benchmarking.  Either way
             chunk results merge in chunk-index order, so outcomes are
             bit-identical.
+        rolling_fingerprints: serve convergence probes from
+            :meth:`~repro.microarch.core.BaseCore.rolling_fingerprint` --
+            the tree digest with write-invalidated component caches, costing
+            O(state touched since the previous probe) instead of O(total
+            state).  Rolling and full digests are byte-identical at every
+            grid cycle by construction, so outcomes are bit-identical
+            either way; ``False`` (default) keeps the full digest.
+        fingerprint_audit_interval: with rolling fingerprints on, cross-check
+            every N-th rolling probe against the freshly-computed full
+            digest and fail loudly (RuntimeError) on disagreement -- the
+            runtime leg of the rolling == full contract, next to the static
+            ``state-coverage`` audit.  ``0`` disables the audit.
+        adaptive_check_spacing: learn a per-site convergence probe schedule
+            (:mod:`repro.engine.schedule`) across this engine's campaigns:
+            fast-reconverging sites keep dense early probes then back off
+            exponentially, historically diverging sites go sparse
+            immediately.  Probe schedules never change outcomes (a skipped
+            probe only delays the early-out), only the saved-cycle
+            telemetry; schedule state folds through ``ChunkResult`` as
+            per-site integer sums, so it is deterministic across executors.
     """
 
     checkpoint_interval: int | None = None
@@ -144,6 +165,9 @@ class EngineConfig:
     artifact_dir: str | Path | None = None
     parallel_threshold: int = 64
     work_stealing: bool = True
+    rolling_fingerprints: bool = False
+    fingerprint_audit_interval: int = 64
+    adaptive_check_spacing: bool = False
 
     @property
     def convergence_enabled(self) -> bool:
@@ -189,6 +213,10 @@ class InjectionEngine:
                 work_stealing=self.config.work_stealing)
         else:
             self._executor = SerialExecutor()
+        # Per-site probe-schedule learner; lives as long as the engine so
+        # repeated campaigns keep refining their schedules.
+        self._schedule = (ConvergenceSchedule()
+                          if self.config.adaptive_check_spacing else None)
 
     @property
     def golden_cache(self) -> GoldenRunCache:
@@ -206,7 +234,8 @@ class InjectionEngine:
             max_cycles=self.config.max_cycles,
             fingerprint_interval=(self.config.convergence_interval
                                   if self.config.convergence_enabled else 0),
-            max_fingerprints=self.config.max_fingerprints, obs=obs)
+            max_fingerprints=self.config.max_fingerprints,
+            rolling=self.config.rolling_fingerprints, obs=obs)
 
     # ------------------------------------------------------------------ planning
     def resolve_plan(self, plan: list[Injection]) -> list[PlannedInjection]:
@@ -306,12 +335,23 @@ class InjectionEngine:
                 planned = self.resolve_plan(plan)
                 executor = self._select_executor(len(planned))
                 chunks = self._shard(planned, executor)
+            schedule_plans = None
+            if (self._schedule is not None and config.convergence_enabled
+                    and checkpointed.fingerprint_interval > 0):
+                schedule_plans = self._schedule.plans_for(
+                    (p.injection.flat_index for p in planned),
+                    checkpointed.fingerprint_interval)
             spec = CampaignSpec(core=self.core, program=self.program,
                                 checkpointed=checkpointed,
                                 convergence=config.convergence_enabled,
                                 batch_width=config.batch_width,
                                 metrics=config.metrics,
-                                trace=config.trace_enabled)
+                                trace=config.trace_enabled,
+                                rolling=config.rolling_fingerprints,
+                                audit_interval=(
+                                    config.fingerprint_audit_interval
+                                    if config.rolling_fingerprints else 0),
+                                schedule_plans=schedule_plans)
             outcomes = OutcomeCounts()
             per_site: dict[int, OutcomeCounts] = {}
             chunk_results = sorted(executor.run_chunks(spec, chunks),
@@ -324,6 +364,8 @@ class InjectionEngine:
                                             else merged.merged_with(counts))
                 obs.metrics.merge(chunk_result.metrics)
                 tracer.absorb(chunk_result.trace_events)
+                if self._schedule is not None:
+                    self._schedule.observe(chunk_result.site_observations)
             span.note(injections=len(planned), chunks=len(chunks))
         merged = obs.metrics
         trace_path = config.trace_path

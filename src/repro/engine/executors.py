@@ -28,6 +28,7 @@ binding the generic layer to :func:`execute_chunk`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator, Protocol, TypeVar
 
@@ -42,16 +43,21 @@ from repro.isa.program import Program
 from repro.microarch.core import BaseCore, CycleHook
 from repro.microarch.events import RunResult, TerminationReason
 from repro.engine.checkpoint import CheckpointedGoldenRun
+from repro.engine.schedule import SitePlan
 from repro.obs import Instrumentation, MetricsRegistry
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.phases import (
     COUNT_CONVERGED,
     COUNT_FINGERPRINT_CHECKS,
+    COUNT_FINGERPRINT_COMPONENTS,
+    COUNT_FINGERPRINT_FULL,
+    COUNT_FINGERPRINT_ROLLING,
     COUNT_REPLAYS,
     CYCLES_FASTFORWARD,
     CYCLES_LOCKSTEP,
     CYCLES_SAVED,
     CYCLES_SCALAR,
+    HISTOGRAM_CHECK_LATENCY_US,
     HISTOGRAM_REPLAY_CYCLES,
     PHASE_CONVERGENCE,
     PHASE_FASTFORWARD,
@@ -98,6 +104,15 @@ class CampaignSpec:
     counters* are always collected -- they back the campaign telemetry --
     and both flags off is the pre-observability fast path (no clock reads,
     no span objects).
+
+    ``rolling`` switches convergence probes (and the batched engine's
+    eviction probes) to :meth:`~repro.microarch.core.BaseCore.
+    rolling_fingerprint`; ``audit_interval`` cross-checks every N-th
+    rolling probe against the full digest (0 disables the audit).
+    ``schedule_plans`` carries the engine's adaptive per-site probe
+    schedules, keyed by flat fault-site index; None probes every grid
+    cycle.  All three only shape *when and how* probes run -- outcomes are
+    bit-identical regardless (see :mod:`repro.engine.schedule`).
     """
 
     core: BaseCore
@@ -107,6 +122,9 @@ class CampaignSpec:
     batch_width: int = 0
     metrics: bool = False
     trace: bool = False
+    rolling: bool = False
+    audit_interval: int = 0
+    schedule_plans: dict[int, SitePlan] | None = None
 
 
 @dataclass
@@ -153,6 +171,11 @@ class ChunkResult:
     per_site: dict[int, OutcomeCounts] = field(default_factory=dict)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     trace_events: list[dict] = field(default_factory=list)
+    # {flat_index: (converged, diverged, lag_cycles)} -- the adaptive
+    # schedule's per-site observations.  Integer sums, so campaign-level
+    # merging is independent of chunk partition and completion order.
+    site_observations: dict[int, tuple[int, int, int]] = field(
+        default_factory=dict)
 
     @property
     def replayed_cycles(self) -> int:
@@ -183,6 +206,18 @@ class ChunkResult:
     def record(self, flat_index: int, outcome: OutcomeCategory) -> None:
         self.outcomes.record(outcome)
         self.per_site.setdefault(flat_index, OutcomeCounts()).record(outcome)
+
+    def observe_site(self, flat_index: int, converged_at: int | None,
+                     injection_cycle: int) -> None:
+        """Record one replay's convergence behaviour for schedule learning."""
+        converged, diverged, lag = self.site_observations.get(
+            flat_index, (0, 0, 0))
+        if converged_at is None:
+            diverged += 1
+        else:
+            converged += 1
+            lag += max(0, converged_at - injection_cycle)
+        self.site_observations[flat_index] = (converged, diverged, lag)
 
 
 def shard_plan(planned: list[PlannedInjection], seed: int,
@@ -235,33 +270,83 @@ class _ConvergedEarly(Exception):
 
 def _convergence_hook(inner: CycleHook, injection_cycle: int,
                       checkpointed: CheckpointedGoldenRun,
-                      metrics: MetricsRegistry = NULL_METRICS) -> CycleHook:
+                      metrics: MetricsRegistry = NULL_METRICS,
+                      rolling: bool = False, audit_interval: int = 0,
+                      plan: SitePlan | None = None) -> CycleHook:
     """Wrap the injection hook with the fingerprint convergence check.
 
-    At every fingerprint-grid cycle strictly after the injection, the
-    injected core's :meth:`~repro.microarch.core.BaseCore.state_fingerprint`
-    is compared against the golden grid.  The fingerprint covers exactly the
-    state a snapshot round-trips -- latches, microarchitecture, memory,
-    emitted-output prefix, detection/recovery log -- so a match means the
-    remainder of the run is bit-identical to the golden run by construction
-    (a run that raised a detection, scheduled a recovery, or diverged in
-    output can never match) and simulation can stop on the spot.
+    At fingerprint-grid cycles strictly after the injection, the injected
+    core's digest is compared against the golden grid.  The fingerprint
+    covers exactly the state a snapshot round-trips -- latches,
+    microarchitecture, memory, emitted-output prefix, detection/recovery
+    log -- so a match means the remainder of the run is bit-identical to
+    the golden run by construction (a run that raised a detection,
+    scheduled a recovery, or diverged in output can never match) and
+    simulation can stop on the spot.
 
-    ``metrics`` counts the grid probes (detailed instrumentation only; the
-    default is the shared disabled registry, so the unmetered hook pays one
-    no-op call per probe next to a full-state digest).
+    ``rolling`` probes with :meth:`~repro.microarch.core.BaseCore.
+    rolling_fingerprint` (O(dirty state) per probe); ``audit_interval`` > 0
+    additionally recomputes the full digest on every N-th rolling probe and
+    raises ``RuntimeError`` on disagreement -- the runtime leg of the
+    rolling == full contract.  ``plan`` (a :class:`~repro.engine.schedule.
+    SitePlan`) thins the probe grid adaptively; grid points it skips can
+    only delay the early-out, never change the outcome.
+
+    ``metrics`` counts the grid probes and, when timing is enabled, the
+    per-probe latency (detailed instrumentation only; the default is the
+    shared disabled registry, so the unmetered hook pays one no-op call per
+    probe next to a state digest).
     """
     fingerprints = checkpointed.fingerprints
     interval = checkpointed.fingerprint_interval
+    base_point = injection_cycle // interval
+    rolling_probes = 0
 
     def hook(core: BaseCore, cycle: int) -> None:
+        nonlocal rolling_probes
         inner(core, cycle)
-        if cycle > injection_cycle and cycle % interval == 0:
-            expected = fingerprints.get(cycle)
-            if expected is not None:
-                metrics.inc(COUNT_FINGERPRINT_CHECKS)
-                if core.state_fingerprint() == expected:
-                    raise _ConvergedEarly(cycle)
+        if cycle <= injection_cycle or cycle % interval:
+            return
+        expected = fingerprints.get(cycle)
+        if expected is None:
+            return
+        if plan is not None \
+                and not plan.should_check(cycle // interval - base_point):
+            return
+        metrics.inc(COUNT_FINGERPRINT_CHECKS)
+        detailed = metrics.enabled
+        if detailed:
+            rehashed_before = core.fingerprint_rehash_count()
+        timed = metrics.timing
+        if timed:
+            start = time.perf_counter()
+        if rolling:
+            digest = core.rolling_fingerprint()
+        else:
+            digest = core.state_fingerprint()
+        if timed:
+            elapsed = time.perf_counter() - start
+            metrics.add_time(PHASE_CONVERGENCE, elapsed)
+            metrics.observe_wall(HISTOGRAM_CHECK_LATENCY_US,
+                                 int(elapsed * 1e6))
+        if detailed:
+            metrics.inc(COUNT_FINGERPRINT_ROLLING if rolling
+                        else COUNT_FINGERPRINT_FULL)
+            metrics.inc(COUNT_FINGERPRINT_COMPONENTS,
+                        core.fingerprint_rehash_count() - rehashed_before)
+        if rolling:
+            rolling_probes += 1
+            if audit_interval and rolling_probes % audit_interval == 0:
+                if detailed:
+                    metrics.inc(COUNT_FINGERPRINT_FULL)
+                if digest != core.state_fingerprint():
+                    raise RuntimeError(
+                        f"rolling fingerprint diverged from the full digest "
+                        f"at cycle {cycle}: a component cache went stale "
+                        f"(state mutated outside the dirty-tracking path; "
+                        f"see the state-coverage audit rule)")
+        if digest == expected:
+            raise _ConvergedEarly(cycle)
 
     return hook
 
@@ -299,7 +384,9 @@ def replay_planned_injection(core: BaseCore, program: Program,
                              planned: PlannedInjection,
                              checkpointed: CheckpointedGoldenRun,
                              convergence: bool = True,
-                             obs: Instrumentation | None = None) -> Replay:
+                             obs: Instrumentation | None = None,
+                             rolling: bool = False, audit_interval: int = 0,
+                             plan: SitePlan | None = None) -> Replay:
     """Run one injection, fast-forwarding from the nearest golden snapshot
     and early-terminating once the run provably re-converges.
 
@@ -331,7 +418,8 @@ def replay_planned_injection(core: BaseCore, program: Program,
         probe_metrics = (obs.metrics if obs is not None and obs.detailed
                          else NULL_METRICS)
         hook = _convergence_hook(hook, planned.injection.cycle, checkpointed,
-                                 metrics=probe_metrics)
+                                 metrics=probe_metrics, rolling=rolling,
+                                 audit_interval=audit_interval, plan=plan)
     snapshot = checkpointed.nearest(planned.injection.cycle)
     resumed_from = 0 if snapshot is None else snapshot.cycle
     tracing = obs is not None and obs.tracer.enabled
@@ -375,6 +463,8 @@ def fold_scalar_replay(result: ChunkResult, planned: PlannedInjection,
     if obs.detailed:
         metrics.observe(HISTOGRAM_REPLAY_CYCLES, replay.simulated_cycles)
     result.record(planned.injection.flat_index, replay.outcome)
+    result.observe_site(planned.injection.flat_index, replay.converged_at,
+                        planned.injection.cycle)
 
 
 def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
@@ -413,10 +503,15 @@ def execute_chunk(spec: CampaignSpec, chunk: ChunkSpec) -> ChunkResult:
                     args={"site": planned.injection.flat_index,
                           "cycle": planned.injection.cycle}) as span:
                 with obs.metrics.timer(PHASE_SCALAR_REPLAY):
+                    plans = spec.schedule_plans
                     replay = replay_planned_injection(
                         spec.core, spec.program, planned, spec.checkpointed,
                         convergence=spec.convergence,
-                        obs=obs if tracing or obs.detailed else None)
+                        obs=obs if tracing or obs.detailed else None,
+                        rolling=spec.rolling,
+                        audit_interval=spec.audit_interval,
+                        plan=(plans.get(planned.injection.flat_index)
+                              if plans else None))
                 span.note(outcome=replay.outcome.name,
                           cycles=replay.simulated_cycles,
                           converged_at=replay.converged_at)

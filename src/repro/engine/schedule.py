@@ -1,0 +1,113 @@
+"""Adaptive per-site convergence-check schedules.
+
+The convergence gate probes an injected replay against the golden
+fingerprint grid.  A fixed schedule probes every grid cycle, which is wasted
+work in both directions: replays that re-converge do so within a few grid
+points of the injection (dense checks after that are pure overhead), and
+replays that never re-converge pay for hundreds of doomed probes.
+
+A :class:`SitePlan` shapes the probe schedule for one injection site: dense
+checks for the first ``dense_window`` grid points after the injection, then
+exponential backoff (power-of-two gaps) capped at ``max_gap``.
+:class:`ConvergenceSchedule` *learns* per-site plans from campaign history:
+sites that historically re-converge fast keep a dense window sized to their
+observed re-convergence lag; sites that historically diverge drop to the
+minimum window and go sparse almost immediately.
+
+Determinism contract: plans are pure functions of the (deterministically
+merged) observation history, and skipping a probe can only delay -- never
+change -- the convergence verdict, because a replay whose fingerprint
+matches the golden grid at cycle ``c`` stays bit-identical to the golden
+run at every later grid cycle too.  Outcome counts are therefore bit-exact
+across serial / parallel / batched executors and across schedule choices;
+only the saved-cycle telemetry shifts.  Observations fold through
+:class:`~repro.engine.executors.ChunkResult` as per-site integer sums, so
+merge order cannot matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DENSE_WINDOW = 8
+"""Default dense-check window, in grid points after the injection."""
+
+MAX_GAP = 32
+"""Backoff cap: past the dense window, probe at least every MAX_GAP points."""
+
+MIN_DENSE_WINDOW = 2
+"""Floor for learned windows: even a historically diverging site keeps a
+couple of early probes, so a fault that suddenly vanishes still terminates
+near the injection."""
+
+MAX_DENSE_WINDOW = 64
+"""Ceiling for learned windows, bounding worst-case probe density."""
+
+_DIVERGENCE_RATIO = 4
+"""A site is treated as historically diverging once its diverged count
+reaches this multiple of its converged count (with at least 2 samples)."""
+
+
+@dataclass(frozen=True)
+class SitePlan:
+    """Probe schedule for one injection site (pure, picklable)."""
+
+    dense_window: int = DENSE_WINDOW
+    max_gap: int = MAX_GAP
+
+    def should_check(self, grid_points_elapsed: int) -> bool:
+        """Whether to probe at the ``grid_points_elapsed``-th point after
+        the injection (1-based; 0 or negative never probes)."""
+        k = grid_points_elapsed
+        if k <= 0:
+            return False
+        if k <= self.dense_window:
+            return True
+        k -= self.dense_window
+        # Exponential backoff past the window, with a hard cap so a replay
+        # that converges late is still caught within max_gap points.
+        return k % self.max_gap == 0 or (k & (k - 1)) == 0
+
+
+class ConvergenceSchedule:
+    """Per-site plan source, folding observations across campaigns.
+
+    Held by the engine (one per :class:`~repro.engine.engine.InjectionEngine`
+    with ``adaptive_check_spacing`` on); observations arrive as the merged
+    ``ChunkResult.site_observations`` sums, keyed by flat fault-site index.
+    """
+
+    def __init__(self) -> None:
+        self._history: dict[int, tuple[int, int, int]] = {}
+
+    def observe(self, observations: dict[int, tuple[int, int, int]]) -> None:
+        """Fold ``{site: (converged, diverged, lag_cycles)}`` sums in."""
+        for site, (converged, diverged, lag) in observations.items():
+            have = self._history.get(site, (0, 0, 0))
+            self._history[site] = (have[0] + converged, have[1] + diverged,
+                                   have[2] + lag)
+
+    def plan(self, site: int, fingerprint_interval: int) -> SitePlan:
+        """Plan for ``site`` given the grid spacing, from history."""
+        converged, diverged, lag_cycles = self._history.get(site, (0, 0, 0))
+        if diverged >= 2 and diverged >= _DIVERGENCE_RATIO * max(converged, 1):
+            return SitePlan(dense_window=MIN_DENSE_WINDOW)
+        if converged:
+            # Size the dense window to the observed mean re-convergence lag
+            # (in grid points), plus slack for run-to-run variation.
+            mean_lag_points = lag_cycles / (converged
+                                            * max(1, fingerprint_interval))
+            dense = int(mean_lag_points) + 2
+            return SitePlan(dense_window=max(MIN_DENSE_WINDOW,
+                                             min(MAX_DENSE_WINDOW, dense)))
+        return SitePlan()
+
+    def plans_for(self, sites, fingerprint_interval: int
+                  ) -> dict[int, SitePlan]:
+        """Plans for every distinct site of a campaign plan."""
+        return {site: self.plan(site, fingerprint_interval)
+                for site in set(sites)}
+
+    def history(self) -> dict[int, tuple[int, int, int]]:
+        """Copy of the folded per-site history (for tests/telemetry)."""
+        return dict(self._history)

@@ -28,6 +28,7 @@ from repro.faultinjection.injector import (
     uniform_injection_plan,
 )
 from repro.faultinjection.levels import (
+    HighLevelCampaignResult,
     HighLevelInjection,
     HighLevelInjector,
     InjectionLevel,
@@ -55,6 +56,7 @@ __all__ = [
     "SiteProtection",
     "exhaustive_site_plan",
     "uniform_injection_plan",
+    "HighLevelCampaignResult",
     "HighLevelInjection",
     "HighLevelInjector",
     "InjectionLevel",

@@ -9,15 +9,18 @@ models on top of the cycle-level cores so the same comparison can be made.
 
 Campaigns route through the injection engine's checkpointed golden runs: the
 golden run comes from the shared :data:`~repro.engine.GOLDEN_RUN_CACHE` (so
-flip-flop and high-level campaigns on the same workload share it), and every
+flip-flop and high-level campaigns on the same workload share it), every
 injected run fast-forwards from the nearest snapshot at or below its
-injection cycle.
+injection cycle, and -- when the golden run carries a fingerprint grid --
+every injected run is convergence-gated: a run whose fingerprint matches the
+golden grid is bit-identical to the golden run from that cycle on, so it
+stops simulating and classifies against the synthesized golden remainder.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum, unique
 
 from repro.engine.checkpoint import GOLDEN_RUN_CACHE, CheckpointedGoldenRun
@@ -25,7 +28,7 @@ from repro.faultinjection.outcomes import OutcomeCategory, OutcomeCounts, classi
 from repro.isa.program import Program
 from repro.isa.simulator import FunctionalSimulator
 from repro.microarch.core import BaseCore
-from repro.microarch.events import RunResult
+from repro.microarch.events import RunResult, TerminationReason
 from repro.isa.registers import NUM_REGISTERS
 
 
@@ -49,6 +52,24 @@ class HighLevelInjection:
     register: int | None = None
     address: int | None = None
     bit: int = 0
+
+
+@dataclass(frozen=True)
+class HighLevelCampaignResult:
+    """One high-level campaign's outcome counts plus convergence telemetry.
+
+    ``counts`` is the same :class:`OutcomeCounts` the campaign always
+    produced (bit-identical with the gate on or off, by the fingerprint
+    contract); ``converged_count`` / ``saved_cycles`` expose how much of the
+    campaign the convergence gate decided early, and ``replayed_cycles``
+    sums the cycles actually simulated after snapshot fast-forward.
+    """
+
+    level: InjectionLevel
+    counts: OutcomeCounts
+    converged_count: int = 0
+    saved_cycles: int = 0
+    replayed_cycles: int = 0
 
 
 class HighLevelInjector:
@@ -112,7 +133,30 @@ class HighLevelInjector:
     def run_with_injection(self, program: Program, injection: HighLevelInjection,
                            golden: RunResult,
                            checkpointed: CheckpointedGoldenRun | None = None,
+                           convergence: bool = True, rolling: bool = False,
                            ) -> tuple[RunResult, OutcomeCategory]:
+        """Run one injected replay; returns ``(result, outcome)``.
+
+        A convergence-gated replay that matches the golden fingerprint grid
+        returns a synthesized golden-remainder result -- bit-identical to
+        what simulating to termination would have produced.
+        """
+        injected, outcome, _, _ = self._gated_replay(
+            program, injection, golden, checkpointed,
+            convergence=convergence, rolling=rolling)
+        return injected, outcome
+
+    def _gated_replay(self, program: Program, injection: HighLevelInjection,
+                      golden: RunResult,
+                      checkpointed: CheckpointedGoldenRun | None,
+                      convergence: bool, rolling: bool,
+                      ) -> tuple[RunResult, OutcomeCategory, int | None, int]:
+        """One replay plus its convergence telemetry:
+        ``(result, outcome, converged_at, simulated_cycles)``."""
+        # Deferred: executors imports this package's injector module, so a
+        # module-level import here would be circular.
+        from repro.engine.executors import _ConvergedEarly, _convergence_hook
+
         watchdog = max(int(golden.cycles * 2.0), golden.cycles + 64)
 
         def hook(core: BaseCore, cycle: int) -> None:
@@ -128,23 +172,60 @@ class HighLevelInjector:
                     value = memory.load_word(injection.address)
                     memory.store_word(injection.address, value ^ (1 << injection.bit))
 
+        # Same gate condition as the engine's scalar replay path: a
+        # fingerprint match proves the remainder is bit-identical to the
+        # golden run, so classification cannot change -- only the cycles
+        # spent reaching it.
+        run_hook = hook
+        if (convergence and checkpointed is not None
+                and checkpointed.fingerprint_interval > 0
+                and checkpointed.fingerprints
+                and golden.reason is not TerminationReason.HANG):
+            run_hook = _convergence_hook(hook, injection.cycle, checkpointed,
+                                         rolling=rolling)
         snapshot = (checkpointed.nearest(injection.cycle)
                     if checkpointed is not None else None)
-        if snapshot is None:
-            injected = self.core.run(program, max_cycles=watchdog, cycle_hook=hook)
-        else:
-            injected = self.core.resume(program, snapshot, max_cycles=watchdog,
-                                        cycle_hook=hook)
-        return injected, classify_outcome(golden, injected)
+        resumed_from = snapshot.cycle if snapshot is not None else 0
+        try:
+            if snapshot is None:
+                injected = self.core.run(program, max_cycles=watchdog,
+                                         cycle_hook=run_hook)
+            else:
+                injected = self.core.resume(program, snapshot,
+                                            max_cycles=watchdog,
+                                            cycle_hook=run_hook)
+        except _ConvergedEarly as converged:
+            synthesized = replace(golden, output=list(golden.output),
+                                  detections=list(golden.detections))
+            return (synthesized, classify_outcome(golden, synthesized),
+                    converged.cycle, converged.cycle - resumed_from)
+        return (injected, classify_outcome(golden, injected), None,
+                injected.cycles - resumed_from)
 
     def campaign(self, level: InjectionLevel, program: Program,
-                 count: int = 100) -> OutcomeCounts:
-        """Run a campaign at one injection level and return outcome counts."""
+                 count: int = 100, convergence: bool = True,
+                 rolling: bool = False) -> HighLevelCampaignResult:
+        """Run a campaign at one injection level.
+
+        Returns a :class:`HighLevelCampaignResult`; its ``counts`` are
+        bit-identical whatever ``convergence``/``rolling`` are set to.
+        """
         checkpointed = GOLDEN_RUN_CACHE.get(self.core, program)
         golden = checkpointed.golden
         counts = OutcomeCounts()
+        converged_count = 0
+        saved_cycles = 0
+        replayed_cycles = 0
         for injection in self.plan(level, program, golden, count):
-            _, outcome = self.run_with_injection(program, injection, golden,
-                                                 checkpointed=checkpointed)
+            _, outcome, converged_at, simulated = self._gated_replay(
+                program, injection, golden, checkpointed,
+                convergence=convergence, rolling=rolling)
             counts.record(outcome)
-        return counts
+            replayed_cycles += simulated
+            if converged_at is not None:
+                converged_count += 1
+                saved_cycles += max(0, golden.cycles - converged_at)
+        return HighLevelCampaignResult(level=level, counts=counts,
+                                       converged_count=converged_count,
+                                       saved_cycles=saved_cycles,
+                                       replayed_cycles=replayed_cycles)

@@ -17,6 +17,12 @@ One :class:`MetricsRegistry` holds three families of metrics:
 * **histograms** -- power-of-two bucketed value distributions (replay
   lengths, convergence distances); bucket counts are integers and merge as
   deterministically as counters.
+* **wall-clock histograms** -- the same power-of-two bucketing applied to
+  wall-clock-derived values (per-probe fingerprint latency).  Gated on the
+  ``timing`` flag like the phase timers and kept in a separate family,
+  because which bucket a timed sample lands in varies run to run: they are
+  deliberately *outside* the deterministic-merge contract the plain
+  histograms keep.
 
 The overhead contract: a *disabled* registry (``enabled=False``) reduces
 every operation to one attribute check and :meth:`timer` returns a shared
@@ -81,7 +87,8 @@ class MetricsRegistry:
             ``EngineConfig(metrics=True)`` asked for them.
     """
 
-    __slots__ = ("enabled", "timing", "counters", "timers", "histograms")
+    __slots__ = ("enabled", "timing", "counters", "timers", "histograms",
+                 "wall_histograms")
 
     def __init__(self, enabled: bool = True, timing: bool | None = None):
         self.enabled = enabled
@@ -89,6 +96,7 @@ class MetricsRegistry:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, list] = {}
         self.histograms: dict[str, dict[int, int]] = {}
+        self.wall_histograms: dict[str, dict[int, int]] = {}
 
     # ------------------------------------------------------------------ record
     def inc(self, name: str, value: int = 1) -> None:
@@ -125,6 +133,20 @@ class MetricsRegistry:
             return
         bucket = int(value).bit_length() if value > 0 else 0
         histogram = self.histograms.setdefault(name, {})
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+
+    def observe_wall(self, name: str, value: int) -> None:
+        """Record a wall-clock-derived ``value`` into histogram ``name``.
+
+        Same power-of-two bucketing as :meth:`observe`, but gated on
+        ``timing`` and stored in the separate wall-clock family: timed
+        samples land in different buckets run to run, so they must not
+        contaminate the deterministic histogram merge.
+        """
+        if not self.timing:
+            return
+        bucket = int(value).bit_length() if value > 0 else 0
+        histogram = self.wall_histograms.setdefault(name, {})
         histogram[bucket] = histogram.get(bucket, 0) + 1
 
     # ------------------------------------------------------------------ read
@@ -167,13 +189,19 @@ class MetricsRegistry:
             for bucket, count in buckets.items():
                 bucket = int(bucket)
                 histogram[bucket] = histogram.get(bucket, 0) + count
+        for name, buckets in data.get("wall_histograms", {}).items():
+            histogram = self.wall_histograms.setdefault(name, {})
+            for bucket, count in buckets.items():
+                bucket = int(bucket)
+                histogram[bucket] = histogram.get(bucket, 0) + count
 
     # ------------------------------------------------------------------ (de)serialize
     def to_dict(self) -> dict:
         """JSON-ready snapshot: ``{"counters", "timers", "histograms"}``.
 
         Histogram bucket keys become strings (JSON objects key on strings);
-        :meth:`merge_dict` converts them back.
+        :meth:`merge_dict` converts them back.  ``wall_histograms`` rides
+        along next to the timers as the second wall-clock family.
         """
         return {
             "counters": dict(self.counters),
@@ -182,6 +210,10 @@ class MetricsRegistry:
             "histograms": {name: {str(bucket): count
                                   for bucket, count in sorted(buckets.items())}
                            for name, buckets in self.histograms.items()},
+            "wall_histograms": {
+                name: {str(bucket): count
+                       for bucket, count in sorted(buckets.items())}
+                for name, buckets in self.wall_histograms.items()},
         }
 
     @classmethod
@@ -194,6 +226,7 @@ class MetricsRegistry:
         self.counters.clear()
         self.timers.clear()
         self.histograms.clear()
+        self.wall_histograms.clear()
 
 
 NULL_METRICS = MetricsRegistry(enabled=False)

@@ -84,9 +84,26 @@ COUNT_FINGERPRINT_CHECKS = "count.fingerprint.checks"
 COUNT_SNAPSHOTS = "count.golden.snapshots"
 COUNT_FINGERPRINTS = "count.golden.fingerprints"
 
+COUNT_FINGERPRINT_FULL = "count.fingerprint.full"
+"""Convergence probes that computed the full state digest (also counts the
+sparse full-digest audits of the rolling path)."""
+
+COUNT_FINGERPRINT_ROLLING = "count.fingerprint.rolling"
+"""Convergence probes served by the rolling (cached-component) digest."""
+
+COUNT_FINGERPRINT_COMPONENTS = "count.fingerprint.components_rehashed"
+"""Component payloads (latch banks / memory pages) the rolling digest had
+to re-serialise across all probes -- the measured "dirty state" cost."""
+
 HISTOGRAM_REPLAY_CYCLES = "histogram.replay.cycles"
 """Distribution of per-replay simulated cycle counts (power-of-two buckets;
 recorded only under ``EngineConfig(metrics=True)``)."""
+
+HISTOGRAM_CHECK_LATENCY_US = "histogram.fingerprint.check_us"
+"""Distribution of per-probe fingerprint latencies in microseconds
+(power-of-two buckets; recorded only under ``EngineConfig(metrics=True)``,
+into the registry's wall-clock histogram family -- latency buckets vary run
+to run, so they stay outside the deterministic counter/histogram merge)."""
 
 REPLAY_CYCLE_COUNTERS = (CYCLES_SCALAR, CYCLES_LOCKSTEP,
                          CYCLES_WAVEFRONT_SHARED, CYCLES_TANDEM,
@@ -94,9 +111,11 @@ REPLAY_CYCLE_COUNTERS = (CYCLES_SCALAR, CYCLES_LOCKSTEP,
 """The cycle counters that sum to ``CampaignResult.replayed_cycles``."""
 
 #: (row label, cycle counter, timer/span name or None) in display order for
-#: the phase-breakdown table.  The first two and the last row are not part
-#: of the replayed-cycle total: golden recording happens once per (core,
-#: program), fast-forward and convergence-saved cycles are *skipped* work.
+#: the phase-breakdown table.  The first two and the last two rows are not
+#: part of the replayed-cycle total: golden recording happens once per
+#: (core, program), fast-forward and convergence-saved cycles are *skipped*
+#: work, and the fingerprint-probes row counts probes (its wall column is
+#: the accumulated hashing time, making the fingerprint cost explicit).
 PHASE_TABLE = (
     ("golden record", CYCLES_GOLDEN, PHASE_GOLDEN_RECORD),
     ("snapshot fast-forward (skipped)", CYCLES_FASTFORWARD, None),
@@ -106,6 +125,8 @@ PHASE_TABLE = (
     ("tandem window", CYCLES_TANDEM, None),
     ("scalar fallback", CYCLES_FALLBACK, PHASE_FALLBACK),
     ("convergence early-out (skipped)", CYCLES_SAVED, None),
+    ("fingerprint checks (probes)", COUNT_FINGERPRINT_CHECKS,
+     PHASE_CONVERGENCE),
 )
 
 

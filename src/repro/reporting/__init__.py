@@ -2,6 +2,7 @@
 
 from repro.reporting.tables import (
     format_artifact_store_stats,
+    format_convergence_summary,
     format_frontier,
     format_frontier_comparison,
     format_golden_cache_stats,
@@ -11,7 +12,7 @@ from repro.reporting.tables import (
     format_table,
 )
 
-__all__ = ["format_artifact_store_stats", "format_frontier",
-           "format_frontier_comparison", "format_golden_cache_stats",
-           "format_phase_breakdown", "format_replay_telemetry",
-           "format_series", "format_table"]
+__all__ = ["format_artifact_store_stats", "format_convergence_summary",
+           "format_frontier", "format_frontier_comparison",
+           "format_golden_cache_stats", "format_phase_breakdown",
+           "format_replay_telemetry", "format_series", "format_table"]

@@ -113,6 +113,40 @@ def format_replay_telemetry(named_results,
         rows)
 
 
+def format_convergence_summary(named_profiles,
+                               title: str = "Convergence gate") -> str:
+    """Render per-group convergence-gate telemetry as a table.
+
+    ``named_profiles`` is an iterable of ``(name, profile)`` pairs where each
+    profile exposes ``injections``, ``converged_count``, ``saved_cycles`` and
+    ``replayed_cycles`` (e.g. a sweep's
+    :class:`~repro.workloads.synthesis.sweep.ProfileVulnerability` entries or
+    campaign results).  One row per group plus a total row: how many replays
+    the fingerprint gate decided early, the converged fraction, and the
+    cycles that early-outs skipped versus the cycles actually simulated.
+    """
+    rows = []
+    total = [0, 0, 0, 0]
+    for name, profile in named_profiles:
+        injections = profile.injections
+        converged = profile.converged_count
+        fraction = converged / injections if injections else 0.0
+        rows.append([name, injections, converged, f"{100 * fraction:.1f}%",
+                     profile.saved_cycles, profile.replayed_cycles])
+        total[0] += injections
+        total[1] += converged
+        total[2] += profile.saved_cycles
+        total[3] += profile.replayed_cycles
+    share = total[1] / total[0] if total[0] else 0.0
+    rows.append(["total", total[0], total[1], f"{100 * share:.1f}%",
+                 total[2], total[3]])
+    return format_table(
+        title,
+        ["group", "injections", "converged", "fraction", "saved cycles",
+         "replayed cycles"],
+        rows)
+
+
 def format_phase_breakdown(result_or_metrics,
                            title: str = "Phase breakdown") -> str:
     """Render the per-phase replay cost of one campaign as a table.

@@ -61,6 +61,9 @@ class ProfileVulnerability:
     workload_names: list[str]
     outcomes: OutcomeCounts
     golden_cycles: int
+    converged_count: int = 0
+    saved_cycles: int = 0
+    replayed_cycles: int = 0
 
     @property
     def injections(self) -> int:
@@ -73,6 +76,11 @@ class ProfileVulnerability:
     @property
     def due_rate(self) -> float:
         return self.outcomes.due_count / self.injections if self.injections else 0.0
+
+    @property
+    def converged_fraction(self) -> float:
+        """Share of the family's replays the convergence gate decided early."""
+        return self.converged_count / self.injections if self.injections else 0.0
 
 
 @dataclass
@@ -103,17 +111,20 @@ class SyntheticSweepResult:
         """Render the per-profile vulnerability table."""
         rows = [[p.family, len(p.workload_names), p.golden_cycles,
                  p.injections, f"{100 * p.sdc_rate:.1f}%",
-                 f"{100 * p.due_rate:.1f}%"]
+                 f"{100 * p.due_rate:.1f}%",
+                 f"{100 * p.converged_fraction:.1f}%", p.saved_cycles]
                 for p in self.profiles]
         return format_table(
             f"Per-profile vulnerability on {self.core_name} (seed {self.seed})",
             ["profile", "workloads", "golden cycles", "injections",
-             "SDC rate", "DUE rate"],
+             "SDC rate", "DUE rate", "converged", "saved cycles"],
             rows)
 
     def cache_table(self) -> str:
-        """Render the sweep's golden-cache (and store) telemetry tables."""
+        """Render the sweep's golden-cache (and store) telemetry tables,
+        plus the per-profile convergence-gate summary."""
         from repro.reporting import (format_artifact_store_stats,
+                                     format_convergence_summary,
                                      format_golden_cache_stats)
 
         parts = []
@@ -123,6 +134,10 @@ class SyntheticSweepResult:
                 title=f"Golden-run cache (sweep seed {self.seed})"))
         if self.store_stats is not None:
             parts.append(format_artifact_store_stats(self.store_stats))
+        if self.profiles:
+            parts.append(format_convergence_summary(
+                [(p.family, p) for p in self.profiles],
+                title=f"Convergence gate (sweep seed {self.seed})"))
         return "\n\n".join(parts)
 
 
@@ -367,6 +382,9 @@ def run_synthetic_sweep(core: BaseCore, seed: int = 0, per_family: int = 4,
         profile.workload_names.append(unit.workload_name)
         profile.outcomes = profile.outcomes.merged_with(result.outcomes)
         profile.golden_cycles += result.golden.cycles
+        profile.converged_count += result.converged_count
+        profile.saved_cycles += result.saved_cycles
+        profile.replayed_cycles += result.replayed_cycles
     return SyntheticSweepResult(core_name=core.name, seed=seed,
                                 profiles=profiles, vulnerability=vulnerability,
                                 campaign_results=campaign_results,

@@ -225,9 +225,10 @@ class TestHighLevelInjection:
     def test_register_uniform_campaign(self, small_workload):
         core = InOrderCore()
         injector = HighLevelInjector(core, seed=2)
-        counts = injector.campaign(InjectionLevel.REGISTER_UNIFORM,
+        result = injector.campaign(InjectionLevel.REGISTER_UNIFORM,
                                    small_workload.program(), count=15)
-        assert counts.total == 15
+        assert result.counts.total == 15
+        assert result.level is InjectionLevel.REGISTER_UNIFORM
 
     def test_plan_levels(self, small_workload):
         core = InOrderCore()

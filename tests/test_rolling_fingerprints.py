@@ -1,0 +1,378 @@
+"""Rolling fingerprints: the rolling == full bit-identity contract.
+
+``BaseCore.rolling_fingerprint()`` must be byte-identical to
+``state_fingerprint()`` at every cycle -- that equality is what lets the
+convergence gate swap digest implementations without perturbing a single
+outcome.  This module property-tests the contract under random state
+mutation on both cores, pins the component caches (latch banks, memory
+pages) with unit tests, and asserts the engine-level consequences: campaign
+statistics are bit-identical with rolling digests and adaptive per-site
+check spacing on or off, across serial / parallel / batched executors and
+across repeat campaigns that refine the learned schedule.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineConfig, GoldenRunCache, InjectionEngine
+from repro.engine.executors import _ConvergedEarly, _convergence_hook
+from repro.engine.schedule import (
+    MAX_DENSE_WINDOW,
+    MIN_DENSE_WINDOW,
+    ConvergenceSchedule,
+    SitePlan,
+)
+from repro.faultinjection import HighLevelInjector, InjectionLevel
+from repro.isa.program import DEFAULT_DATA_BASE
+from repro.microarch import InOrderCore, OutOfOrderCore
+from repro.microarch.memory import MemorySystem
+from repro.microarch.state import LatchState, TrackedLatchState
+from repro.workloads import workload_by_name
+
+CORE_CLASSES = (InOrderCore, OutOfOrderCore)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return workload_by_name("vpr").program()
+
+
+class TestRollingEqualsFull:
+    """The contract itself, at every probe, under adversarial mutation."""
+
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES,
+                             ids=lambda c: c.__name__)
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_equal_at_every_probe_under_random_flips(self, core_cls, program,
+                                                     data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16),
+                         label="seed")
+        probe_interval = data.draw(st.sampled_from([1, 4, 16]),
+                                   label="probe_interval")
+        tracked = data.draw(st.booleans(), label="latch_write_tracking")
+        enable_cycle = data.draw(st.integers(min_value=0, max_value=200),
+                                 label="enable_cycle")
+        rng = random.Random(seed)
+        probes = 0
+
+        def hook(core, cycle):
+            nonlocal probes
+            if tracked and cycle == enable_cycle:
+                core.latches.enable_write_tracking()
+            if rng.random() < 0.10:
+                core.latches.flip_flat(
+                    rng.randrange(core.registry.total_flip_flops))
+            if rng.random() < 0.10:
+                core.memory.store_word(
+                    DEFAULT_DATA_BASE + 4 * rng.randrange(2048),
+                    rng.getrandbits(32))
+            if cycle % probe_interval == 0:
+                probes += 1
+                assert core.rolling_fingerprint() == core.state_fingerprint()
+
+        core_cls().run(program, max_cycles=400, cycle_hook=hook)
+        assert probes > 0
+
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_equal_through_snapshot_restore(self, core_cls, program):
+        # Restore invalidates every rolling cache wholesale; the next probe
+        # must rebuild them to the exact full digest.
+        core = core_cls()
+        snapshots = []
+        core.run(program, max_cycles=600,
+                 cycle_hook=lambda c, cycle: snapshots.append(c.snapshot())
+                 if cycle == 64 else None)
+        core.rolling_fingerprint()  # prime the caches with terminal state
+        core.restore(program, snapshots[0])
+        assert core.rolling_fingerprint() == core.state_fingerprint()
+
+
+class TestMemoryRollingDigest:
+    def test_empty_and_zero_store_normalisation(self):
+        mem = MemorySystem()
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full() == b""
+        address = DEFAULT_DATA_BASE
+        mem.store_word(address, 7)
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full()
+        # Storing zero is architecturally a deletion: the page must drop the
+        # word on both digest paths.
+        mem.store_word(address, 0)
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full() == b""
+
+    def test_byte_stores_and_cross_page_writes(self):
+        mem = MemorySystem()
+        mem.store_word(DEFAULT_DATA_BASE, 0x11223344)
+        mem.store_byte(DEFAULT_DATA_BASE + 2, 0xAB)
+        mem.store_word(DEFAULT_DATA_BASE + 4096, 5)  # a different page
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full()
+        assert mem.load_byte(DEFAULT_DATA_BASE + 2) == 0xAB
+
+    def test_restore_words_rebuilds_the_mirror(self):
+        mem = MemorySystem()
+        mem.store_word(DEFAULT_DATA_BASE, 1)
+        mem.store_word(DEFAULT_DATA_BASE + 2048, 2)
+        digest = mem.fingerprint_digest()
+        image = mem.snapshot_words()
+        mem.store_word(DEFAULT_DATA_BASE, 9)
+        mem.store_word(DEFAULT_DATA_BASE + 8192, 3)
+        assert mem.fingerprint_digest() != digest
+        mem.restore_words(image)
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full()
+        assert mem.fingerprint_digest() == digest
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63),
+                  st.integers(min_value=0, max_value=2**32 - 1),
+                  st.booleans()),
+        max_size=40))
+    def test_equal_after_any_store_sequence(self, ops):
+        # Addresses are spread over many pages (stride 521 words) so page
+        # creation, mutation and all-zero deletion all get exercised; the
+        # interleaved probes make the journal consume partial histories.
+        mem = MemorySystem()
+        for slot, value, probe in ops:
+            mem.store_word(DEFAULT_DATA_BASE + 4 * slot * 521, value)
+            if probe:
+                assert mem.fingerprint_digest() == mem.fingerprint_digest_full()
+        assert mem.fingerprint_digest() == mem.fingerprint_digest_full()
+
+
+class TestTrackedLatchState:
+    def test_class_swap_preserves_values_and_digests(self, program):
+        core = InOrderCore()
+        core.run(program, max_cycles=200)
+        latches = core.latches
+        full = latches.fingerprint_digest_full()
+        # Untracked, the rolling digest degrades to the full recompute.
+        assert not latches.write_tracking
+        assert latches.fingerprint_digest() == full
+        latches.enable_write_tracking()
+        assert type(latches) is TrackedLatchState
+        assert latches.write_tracking
+        assert latches.fingerprint_digest() == full
+        name = latches.structures()[0].name
+        latches.flip_bit(name, 0)
+        changed = latches.fingerprint_digest()
+        assert changed == latches.fingerprint_digest_full() != full
+        latches.disable_write_tracking()
+        assert type(latches) is LatchState
+        assert latches.fingerprint_digest() == changed
+
+    def test_tracked_instance_pickle_roundtrip(self, program):
+        core = InOrderCore()
+        core.run(program, max_cycles=200)
+        core.latches.enable_write_tracking()
+        core.latches.fingerprint_digest()  # warm the bank cache
+        clone = pickle.loads(pickle.dumps(core.latches))
+        assert type(clone) is TrackedLatchState
+        assert clone.serialize() == core.latches.serialize()
+        assert clone.fingerprint_digest() == \
+            core.latches.fingerprint_digest_full()
+
+    def test_bulk_mutations_mark_banks_dirty(self, program):
+        core = InOrderCore()
+        core.run(program, max_cycles=200)
+        latches = core.latches
+        latches.enable_write_tracking()
+        for mutate in (lambda: latches.clear_unit("fetch"),
+                       latches.clear,
+                       lambda: latches.deserialize(latches.serialize()),
+                       lambda: latches.restore(latches.snapshot())):
+            mutate()
+            assert latches.fingerprint_digest() == \
+                latches.fingerprint_digest_full()
+
+
+class TestSitePlan:
+    def test_dense_window_then_backoff(self):
+        plan = SitePlan(dense_window=4, max_gap=8)
+        checked = [k for k in range(1, 64) if plan.should_check(k)]
+        assert checked[:4] == [1, 2, 3, 4]
+        past_window = [k - 4 for k in checked[4:]]
+        assert all(k % 8 == 0 or (k & (k - 1)) == 0 for k in past_window)
+
+    def test_never_probes_at_or_before_the_injection(self):
+        plan = SitePlan()
+        assert not plan.should_check(0)
+        assert not plan.should_check(-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dense=st.integers(min_value=MIN_DENSE_WINDOW,
+                             max_value=MAX_DENSE_WINDOW),
+           max_gap=st.sampled_from([8, 16, 32, 64]))
+    def test_gap_is_bounded_by_max_gap(self, dense, max_gap):
+        plan = SitePlan(dense_window=dense, max_gap=max_gap)
+        checked = [k for k in range(1, dense + 6 * max_gap)
+                   if plan.should_check(k)]
+        gaps = [b - a for a, b in zip(checked, checked[1:])]
+        assert max(gaps) <= max_gap
+
+
+class TestConvergenceSchedule:
+    def test_unknown_site_gets_the_default_plan(self):
+        assert ConvergenceSchedule().plan(3, 16) == SitePlan()
+
+    def test_diverging_site_drops_to_the_minimum_window(self):
+        schedule = ConvergenceSchedule()
+        schedule.observe({5: (0, 4, 0)})
+        assert schedule.plan(5, 16).dense_window == MIN_DENSE_WINDOW
+
+    def test_converging_site_window_tracks_observed_lag(self):
+        schedule = ConvergenceSchedule()
+        interval = 16
+        # 4 convergences at a mean lag of 5 grid points each.
+        schedule.observe({2: (4, 0, 4 * 5 * interval)})
+        assert schedule.plan(2, interval).dense_window == 5 + 2
+
+    def test_observation_fold_is_order_invariant(self):
+        batches = [{1: (1, 0, 32)}, {1: (0, 2, 0), 2: (1, 0, 16)},
+                   {2: (2, 1, 64)}]
+        forward, backward = ConvergenceSchedule(), ConvergenceSchedule()
+        for batch in batches:
+            forward.observe(batch)
+        for batch in reversed(batches):
+            backward.observe(batch)
+        assert forward.history() == backward.history()
+        assert forward.plans_for([1, 2, 3], 16) == \
+            backward.plans_for([1, 2, 3], 16)
+
+
+class TestConvergenceHookAudit:
+    """The runtime leg of the contract: sparse rolling-vs-full cross-checks."""
+
+    def _hooked_core(self, program):
+        core = InOrderCore()
+        core.run(program, max_cycles=400)
+        core.latches.enable_write_tracking()
+        assert core.rolling_fingerprint() == core.state_fingerprint()
+        return core
+
+    def _checkpointed(self, expected):
+        return SimpleNamespace(fingerprints={8: expected},
+                               fingerprint_interval=8)
+
+    def test_stale_component_cache_raises(self, program):
+        core = self._hooked_core(program)
+        # Poison a clean bank payload behind the journal's back: exactly the
+        # failure mode of state mutated outside the dirty-tracking path.
+        core.latches._bank_cache[0] = pickle.dumps(("poisoned",), protocol=4)
+        hook = _convergence_hook(lambda c, cycle: None, 0,
+                                 self._checkpointed(b"\x00" * 16),
+                                 rolling=True, audit_interval=1)
+        with pytest.raises(RuntimeError, match="stale"):
+            hook(core, 8)
+
+    def test_audit_interval_zero_disables_the_cross_check(self, program):
+        core = self._hooked_core(program)
+        core.latches._bank_cache[0] = pickle.dumps(("poisoned",), protocol=4)
+        hook = _convergence_hook(lambda c, cycle: None, 0,
+                                 self._checkpointed(b"\x00" * 16),
+                                 rolling=True, audit_interval=0)
+        hook(core, 8)  # no audit, no match: the replay just continues
+
+    def test_matching_rolling_digest_converges(self, program):
+        core = self._hooked_core(program)
+        hook = _convergence_hook(lambda c, cycle: None, 0,
+                                 self._checkpointed(core.rolling_fingerprint()),
+                                 rolling=True, audit_interval=1)
+        with pytest.raises(_ConvergedEarly) as exc:
+            hook(core, 8)
+        assert exc.value.cycle == 8
+
+    def test_plan_skips_suppress_the_probe(self, program):
+        core = self._hooked_core(program)
+        plan = SitePlan(dense_window=0, max_gap=32)
+        assert plan.should_check(1)   # backoff probes powers of two
+        assert not plan.should_check(3)
+        hook = _convergence_hook(
+            lambda c, cycle: None, 0,
+            SimpleNamespace(fingerprints={24: core.rolling_fingerprint()},
+                            fingerprint_interval=8),
+            rolling=True, plan=plan)
+        hook(core, 24)  # grid point 3: skipped, so no _ConvergedEarly
+
+
+class TestEngineBitExactness:
+    """Rolling digests and adaptive spacing must be invisible in statistics."""
+
+    @pytest.mark.parametrize("core_cls", CORE_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_rolling_and_adaptive_match_full_across_executors(self, core_cls,
+                                                              program):
+        def run(config):
+            engine = InjectionEngine(core_cls(), program, seed=13,
+                                     config=config,
+                                     golden_cache=GoldenRunCache())
+            return engine.run(injections=8)
+
+        reference = run(EngineConfig())
+        variants = [
+            EngineConfig(rolling_fingerprints=True),
+            EngineConfig(rolling_fingerprints=True,
+                         fingerprint_audit_interval=1),
+            EngineConfig(rolling_fingerprints=True,
+                         adaptive_check_spacing=True),
+            EngineConfig(rolling_fingerprints=True,
+                         adaptive_check_spacing=True,
+                         workers=2, parallel_threshold=0, chunk_size=3),
+            EngineConfig(rolling_fingerprints=True,
+                         adaptive_check_spacing=True, batch_width=8),
+        ]
+        for config in variants:
+            result = run(config)
+            assert result.outcomes == reference.outcomes
+            assert result.per_site == reference.per_site
+
+    def test_repeat_campaigns_refine_the_schedule_without_drift(self, program):
+        adaptive = InjectionEngine(
+            InOrderCore(), program, seed=21,
+            config=EngineConfig(rolling_fingerprints=True,
+                                adaptive_check_spacing=True),
+            golden_cache=GoldenRunCache())
+        full = InjectionEngine(InOrderCore(), program, seed=21,
+                               config=EngineConfig(),
+                               golden_cache=GoldenRunCache())
+        for _ in range(2):
+            learned = adaptive.run(injections=10)
+            dense = full.run(injections=10)
+            assert learned.outcomes == dense.outcomes
+            assert learned.per_site == dense.per_site
+        # The second campaign ran against plans learned from the first.
+        assert adaptive._schedule.history()
+
+
+class TestHighLevelCampaignGate:
+    @pytest.mark.parametrize("level", [InjectionLevel.REGISTER_UNIFORM,
+                                       InjectionLevel.VARIABLE_WRITE],
+                             ids=lambda level: level.value)
+    def test_gate_and_rolling_leave_counts_bit_identical(self, small_workload,
+                                                         level):
+        program = small_workload.program()
+        results = {}
+        for convergence, rolling in ((False, False), (True, False),
+                                     (True, True)):
+            injector = HighLevelInjector(InOrderCore(), seed=5)
+            results[(convergence, rolling)] = injector.campaign(
+                level, program, count=25, convergence=convergence,
+                rolling=rolling)
+        ungated = results[(False, False)]
+        for result in results.values():
+            assert result.counts == ungated.counts
+            assert result.level is level
+        assert ungated.converged_count == 0 and ungated.saved_cycles == 0
+        gated = results[(True, False)]
+        assert gated.converged_count > 0
+        assert gated.saved_cycles > 0
+        assert gated.replayed_cycles < ungated.replayed_cycles
+        assert results[(True, True)].converged_count == gated.converged_count
+        assert results[(True, True)].saved_cycles == gated.saved_cycles
